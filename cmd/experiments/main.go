@@ -1,0 +1,353 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation: Tables 1-5 and Figures 2-5.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -table 4
+//	experiments -figure 2
+//	experiments -all -scale 0.5 -procs 2,4,8,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// emitter prints every artifact to stdout and, when an output directory is
+// set, also writes <name>.txt, <name>.csv and (for charts) <name>.svg.
+type emitter struct {
+	outdir string
+}
+
+func (e *emitter) save(name, ext string, write func(f *os.File) error) error {
+	if e.outdir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(e.outdir, name+ext))
+	if err != nil {
+		return err
+	}
+	if werr := write(f); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+func (e *emitter) table(name string, t *report.Table) error {
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := e.save(name, ".txt", func(f *os.File) error { return t.Render(f) }); err != nil {
+		return err
+	}
+	return e.save(name, ".csv", func(f *os.File) error { return t.WriteCSV(f) })
+}
+
+func (e *emitter) chart(name string, c *report.BarChart) error {
+	if err := c.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := e.save(name, ".txt", func(f *os.File) error { return c.Render(f) }); err != nil {
+		return err
+	}
+	if err := e.save(name, ".csv", func(f *os.File) error { return c.WriteCSV(f) }); err != nil {
+		return err
+	}
+	return e.save(name, ".svg", func(f *os.File) error { return c.WriteSVG(f) })
+}
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every table and figure")
+		table  = flag.Int("table", 0, "run one table (1-5)")
+		figure = flag.Int("figure", 0, "run one figure (2-5)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor")
+		seed   = flag.Int64("seed", 1994, "generation seed")
+		procs  = flag.String("procs", "2,4,8,16", "processor counts, comma separated")
+		fig5   = flag.String("fig5app", "MP3D", "application for the Figure 5 miss-component graph")
+		abl    = flag.String("ablation", "", "ablation study: assoc, cachesize, contexts, uniformity, writeruns, protocol, latency, contention, dynamic or all")
+		outdir = flag.String("outdir", "", "also write each artifact as .txt/.csv/.svg into this directory")
+		jsonF  = flag.String("json", "", "regenerate all tables/figures and save them as one JSON bundle")
+	)
+	flag.Parse()
+	if err := run(*all, *table, *figure, *scale, *seed, *procs, *fig5, *abl, *outdir, *jsonF); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5app, ablation, outdir, jsonPath string) error {
+	pcs, err := parseProcs(procsSpec)
+	if err != nil {
+		return err
+	}
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	em := &emitter{outdir: outdir}
+	opts := core.DefaultOptions()
+	opts.Params = workload.Params{Scale: scale, Seed: seed}
+	opts.ProcCounts = pcs
+	s := core.NewSuite(opts)
+
+	section := func(name string, f func() error) error {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s regenerated in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+
+	want := func(t, f int) bool {
+		return all || (t != 0 && table == t) || (f != 0 && figure == f)
+	}
+	ran := false
+
+	if want(1, 0) {
+		ran = true
+		if err := section("Table 1", func() error {
+			rows, err := s.Table1()
+			if err != nil {
+				return err
+			}
+			return em.table("table1", core.Table1Report(rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if want(2, 0) {
+		ran = true
+		if err := section("Table 2", func() error {
+			rows, err := s.Table2()
+			if err != nil {
+				return err
+			}
+			return em.table("table2", core.Table2Report(rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if want(3, 0) {
+		ran = true
+		if err := section("Table 3", func() error {
+			return em.table("table3", core.Table3Report())
+		}); err != nil {
+			return err
+		}
+	}
+	for _, fig := range []struct {
+		n   int
+		app string
+	}{{2, "LocusRoute"}, {3, "FFT"}, {4, "Barnes-Hut"}} {
+		if !want(0, fig.n) {
+			continue
+		}
+		ran = true
+		fig := fig
+		if err := section(fmt.Sprintf("Figure %d", fig.n), func() error {
+			f, err := s.ExecutionFigure(fig.app)
+			if err != nil {
+				return err
+			}
+			return em.chart(fmt.Sprintf("figure%d", fig.n),
+				f.Chart(fmt.Sprintf("Figure %d: Execution time for %s", fig.n, fig.app)))
+		}); err != nil {
+			return err
+		}
+	}
+	if want(0, 5) {
+		ran = true
+		if err := section("Figure 5", func() error {
+			cells, err := s.MissComponentFigure(fig5app)
+			if err != nil {
+				return err
+			}
+			return em.table("figure5", core.MissComponentReport(fig5app, cells))
+		}); err != nil {
+			return err
+		}
+	}
+	if want(4, 0) {
+		ran = true
+		if err := section("Table 4", func() error {
+			rows, err := s.Table4()
+			if err != nil {
+				return err
+			}
+			return em.table("table4", core.Table4Report(rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if want(5, 0) {
+		ran = true
+		if err := section("Table 5", func() error {
+			cells, err := s.Table5()
+			if err != nil {
+				return err
+			}
+			return em.table("table5", core.Table5Report(cells, opts.ProcCounts))
+		}); err != nil {
+			return err
+		}
+	}
+	wantAbl := func(name string) bool {
+		return ablation == name || ablation == "all"
+	}
+	if wantAbl("assoc") {
+		ran = true
+		if err := section("Ablation: associativity", func() error {
+			rows, err := s.AssociativitySweep("Patch", "LOAD-BAL", 16, []int{1, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_assoc", core.AssocReport("Patch", "LOAD-BAL", 16, rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if wantAbl("cachesize") {
+		ran = true
+		if err := section("Ablation: cache size", func() error {
+			sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10, 8 << 20}
+			rows, err := s.CacheSizeSweep("Water", "LOAD-BAL", 8, sizes)
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_cachesize", core.CacheSizeReport("Water", "LOAD-BAL", 8, rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if wantAbl("contexts") {
+		ran = true
+		if err := section("Ablation: hardware contexts", func() error {
+			rows, err := s.ContextSweep("Water", 4, []int{1, 2, 4, 8, 0})
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_contexts", core.ContextReport("Water", 4, rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if wantAbl("uniformity") {
+		ran = true
+		if err := section("Ablation: sharing uniformity", func() error {
+			rows, err := s.UniformitySweep([]float64{1.0, 0.75, 0.5, 0.25, 0.0})
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_uniformity", core.UniformityReport(rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if wantAbl("protocol") {
+		ran = true
+		if err := section("Ablation: coherence protocol", func() error {
+			rows, err := s.ProtocolComparison("Fullconn", 8, []string{"LOAD-BAL", "SHARE-REFS", "RANDOM"})
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_protocol", core.ProtocolReport("Fullconn", 8, rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if wantAbl("latency") {
+		ran = true
+		if err := section("Ablation: memory latency", func() error {
+			rows, err := s.LatencySweep("FFT", 8, []uint64{10, 25, 50, 100, 200})
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_latency", core.LatencyReport("FFT", 8, rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if wantAbl("contention") {
+		ran = true
+		if err := section("Ablation: interconnect contention", func() error {
+			rows, err := s.ContentionSweep("MP3D", "LOAD-BAL", 16, []int{0, 1, 2, 4, 8, 16})
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_contention", core.ContentionReport("MP3D", "LOAD-BAL", 16, rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if wantAbl("dynamic") {
+		ran = true
+		if err := section("Ablation: dynamic self-scheduling", func() error {
+			apps := []string{"LocusRoute", "FFT", "Health", "Gauss"}
+			rows, err := s.DynamicComparison(apps, 8, 2)
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_dynamic", core.DynamicReport(8, 2, rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if wantAbl("writeruns") {
+		ran = true
+		if err := section("Write-run study", func() error {
+			rows, err := s.WriteRunStudy(workload.Names())
+			if err != nil {
+				return err
+			}
+			return em.table("ablation_writeruns", core.WriteRunReport(rows))
+		}); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		ran = true
+		if err := section("JSON bundle", func() error {
+			b, err := s.CollectResults(fig5app)
+			if err != nil {
+				return err
+			}
+			if err := b.SaveJSON(jsonPath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", jsonPath)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("nothing selected: use -all, -table N, -figure N, -ablation NAME or -json FILE")
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs("2,4, 8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "a", "0", "-3", "2,,4"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Errorf("parseProcs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsEmptySelection(t *testing.T) {
+	if err := run(false, 0, 0, 1, 1, "2", "MP3D", "", "", ""); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if err := run(false, 0, 0, 1, 1, "bogus", "MP3D", "", "", ""); err == nil {
+		t.Error("bad procs accepted")
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	if err := run(false, 3, 0, 1, 1, "2", "MP3D", "", t.TempDir(), ""); err != nil {
+		t.Fatal(err)
+	}
+}

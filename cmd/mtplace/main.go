@@ -1,0 +1,110 @@
+// Command mtplace computes thread placement maps: which threads should be
+// co-located on which processor, under any of the paper's algorithms.
+//
+// Usage:
+//
+//	mtplace -algs                 # list algorithms
+//	mtplace -app Water -alg SHARE-REFS -procs 4
+//	mtplace -app FFT -procs 8     # all algorithms, with load statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		listAlgs = flag.Bool("algs", false, "list placement algorithms and exit")
+		app      = flag.String("app", "", "application name")
+		alg      = flag.String("alg", "", "algorithm (default: all)")
+		procs    = flag.Int("procs", 4, "number of processors")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1994, "generation / RANDOM seed")
+		show     = flag.Bool("map", false, "print the full thread->processor map")
+		ext      = flag.Bool("ext", false, "include extension algorithms (KL-SHARE)")
+	)
+	flag.Parse()
+	if err := run(*listAlgs, *app, *alg, *procs, *scale, *seed, *show, *ext); err != nil {
+		fmt.Fprintln(os.Stderr, "mtplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listAlgs bool, app, alg string, procs int, scale float64, seed int64, show, ext bool) error {
+	if listAlgs {
+		t := &report.Table{
+			Title:   "Placement algorithms (paper §2)",
+			Columns: []string{"Name", "Sharing-based"},
+		}
+		for _, a := range placement.All() {
+			sb := "no"
+			if a.SharingBased {
+				sb = "yes"
+			}
+			t.AddRow(a.Name, sb)
+		}
+		return t.Render(os.Stdout)
+	}
+	if app == "" {
+		return fmt.Errorf("need -app (or -algs)")
+	}
+	a, err := workload.ByName(app)
+	if err != nil {
+		return err
+	}
+	tr, err := a.Build(workload.Params{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	d := analysis.Analyze(tr).Sharing()
+
+	algs := placement.All()
+	if ext {
+		algs = append(algs, placement.Extensions()...)
+	}
+	if alg != "" {
+		one, err := placement.ByName(alg)
+		if err != nil {
+			return err
+		}
+		algs = []placement.Algorithm{one}
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("Placements for %s on %d processors", app, procs),
+		Columns: []string{"Algorithm", "Thread-balanced", "Load imbalance", "Max load", "Min load"},
+	}
+	for _, pa := range algs {
+		pl, err := pa.Place(d, procs, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pa.Name, err)
+		}
+		loads := pl.Loads(d.Lengths)
+		min, max := loads[0], loads[0]
+		for _, l := range loads {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		tb := "no"
+		if pl.ThreadBalanced() {
+			tb = "yes"
+		}
+		t.AddRow(pa.Name, tb, report.Pct(pl.LoadImbalance(d.Lengths), 1),
+			fmt.Sprint(max), fmt.Sprint(min))
+		if show {
+			fmt.Printf("%s\n", pl)
+		}
+	}
+	return t.Render(os.Stdout)
+}

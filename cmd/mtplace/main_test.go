@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if err := run(true, "", "", 0, 1, 1, false, false); err != nil {
+		t.Errorf("algs mode: %v", err)
+	}
+	if err := run(false, "", "", 4, 1, 1, false, false); err == nil {
+		t.Error("missing app accepted")
+	}
+	if err := run(false, "Grav", "NOPE", 4, 0.25, 1, false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(false, "Grav", "LOAD-BAL", 4, 0.25, 1, true, false); err != nil {
+		t.Errorf("single algorithm: %v", err)
+	}
+	if err := run(false, "Grav", "", 4, 0.25, 1, false, true); err != nil {
+		t.Errorf("all algorithms + extensions: %v", err)
+	}
+}

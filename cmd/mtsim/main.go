@@ -1,0 +1,139 @@
+// Command mtsim runs one trace-driven simulation: an application of the
+// workload suite under a chosen placement algorithm on a multithreaded
+// multiprocessor, and reports execution time, processor utilization and
+// the cache-miss components.
+//
+// Usage:
+//
+//	mtsim -app LocusRoute -alg LOAD-BAL -procs 8
+//	mtsim -app Water -alg SHARE-REFS -procs 4 -infinite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "application name (see mttrace -list)")
+		alg      = flag.String("alg", "LOAD-BAL", "placement algorithm (see mtplace -algs)")
+		procs    = flag.Int("procs", 4, "number of processors")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1994, "generation / RANDOM seed")
+		infinite = flag.Bool("infinite", false, "use the 8 MB 'infinite' cache of §4.3")
+		perProc  = flag.Bool("per-proc", false, "print per-processor statistics")
+		assoc    = flag.Int("assoc", 1, "cache set associativity (1 = the paper's direct-mapped)")
+		contexts = flag.Int("contexts", 0, "hardware contexts per processor (0 = one per thread)")
+		wruns    = flag.Bool("writeruns", false, "measure write runs / migratory data (§4.2)")
+		dynamic  = flag.String("dynamic", "", "use online self-scheduling instead of a static placement: fifo or longest-first")
+	)
+	flag.Parse()
+	if err := run(*app, *alg, *procs, *scale, *seed, *infinite, *perProc, *assoc, *contexts, *wruns, *dynamic); err != nil {
+		fmt.Fprintln(os.Stderr, "mtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, alg string, procs int, scale float64, seed int64, infinite, perProc bool, assoc, contexts int, wruns bool, dynamic string) error {
+	if app == "" {
+		return fmt.Errorf("need -app")
+	}
+	a, err := workload.ByName(app)
+	if err != nil {
+		return err
+	}
+	tr, err := a.Build(workload.Params{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig(procs)
+	cfg.CacheSize = a.CacheSize
+	cfg.Associativity = assoc
+	cfg.MaxContexts = contexts
+	cfg.TrackWriteRuns = wruns
+	if infinite {
+		cfg.CacheSize = sim.InfiniteCacheSize
+	}
+	var res *sim.Result
+	if dynamic != "" {
+		policy := sim.FIFO
+		switch dynamic {
+		case "fifo":
+		case "longest-first":
+			policy = sim.LongestFirst
+		default:
+			return fmt.Errorf("unknown -dynamic policy %q (fifo or longest-first)", dynamic)
+		}
+		alg = "" // static algorithm unused
+		res, err = sim.RunDynamic(tr, cfg, policy)
+		if err != nil {
+			return err
+		}
+		alg = res.Algorithm
+	} else {
+		pa, err := placement.ByName(alg)
+		if err != nil {
+			return err
+		}
+		pl, err := pa.Place(analysis.Analyze(tr).Sharing(), procs, seed)
+		if err != nil {
+			return err
+		}
+		res, err = sim.Run(tr, pl, cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	tot := res.Totals()
+	fmt.Printf("%s / %s / %d processors (%d KB cache)\n", app, alg, procs, cfg.CacheSize>>10)
+	fmt.Printf("execution time: %d cycles\n", res.ExecTime)
+	fmt.Printf("references: %d (%.1f%% shared), hit rate %.2f%%\n",
+		tot.Refs, float64(tot.SharedRefs)/float64(tot.Refs)*100,
+		float64(tot.Hits)/float64(tot.Refs)*100)
+	fmt.Printf("cycles: busy %d, switching %d, idle %d\n", tot.Busy, tot.Switch, tot.Idle)
+
+	mt := &report.Table{
+		Title:   "Cache miss components",
+		Columns: []string{"Component", "Misses", "Per 1000 refs"},
+	}
+	kinds := []sim.MissKind{sim.Compulsory, sim.ConflictIntra, sim.ConflictInter, sim.InvalidationMiss}
+	for _, k := range kinds {
+		mt.AddRow(k.String(), fmt.Sprint(tot.Misses[k]),
+			report.F(float64(tot.Misses[k])/float64(tot.Refs)*1000, 2))
+	}
+	mt.AddRow("total", fmt.Sprint(tot.TotalMisses()),
+		report.F(float64(tot.TotalMisses())/float64(tot.Refs)*1000, 2))
+	if err := mt.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("coherence: %d invalidations sent, %d upgrades, %d writebacks\n",
+		tot.InvalidationsSent, tot.Upgrades, tot.Writebacks)
+	if res.WriteRuns != nil {
+		w := res.WriteRuns
+		fmt.Printf("write runs: %d written blocks, %d single-writer, %d migratory (%.1f%% of multi-writer), mean run %.1f\n",
+			w.WrittenBlocks, w.SingleWriterBlocks, w.MigratoryBlocks, w.MigratoryPct(), w.MeanRunLength)
+	}
+
+	if perProc {
+		pt := &report.Table{
+			Title:   "Per-processor statistics",
+			Columns: []string{"Proc", "Finish", "Busy", "Switch", "Idle", "Refs", "Misses"},
+		}
+		for i, p := range res.Procs {
+			pt.AddRow(fmt.Sprint(i), fmt.Sprint(p.Finish), fmt.Sprint(p.Busy),
+				fmt.Sprint(p.Switch), fmt.Sprint(p.Idle), fmt.Sprint(p.Refs),
+				fmt.Sprint(p.TotalMisses()))
+		}
+		return pt.Render(os.Stdout)
+	}
+	return nil
+}

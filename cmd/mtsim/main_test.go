@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if err := run("", "LOAD-BAL", 4, 1, 1, false, false, 1, 0, false, ""); err == nil {
+		t.Error("missing app accepted")
+	}
+	if err := run("Grav", "NOPE", 4, 1, 1, false, false, 1, 0, false, ""); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("Grav", "LOAD-BAL", 4, 0.25, 1, false, true, 2, 2, true, ""); err != nil {
+		t.Errorf("full-feature run: %v", err)
+	}
+	if err := run("Grav", "SHARE-REFS", 4, 0.25, 1, true, false, 1, 0, false, ""); err != nil {
+		t.Errorf("infinite-cache run: %v", err)
+	}
+	if err := run("Grav", "", 4, 0.25, 1, false, false, 1, 2, false, "longest-first"); err != nil {
+		t.Errorf("dynamic run: %v", err)
+	}
+	if err := run("Grav", "", 4, 0.25, 1, false, false, 1, 0, false, "bogus"); err == nil {
+		t.Error("bad dynamic policy accepted")
+	}
+}

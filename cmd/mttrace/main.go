@@ -1,0 +1,127 @@
+// Command mttrace generates the per-thread memory reference traces of the
+// fourteen-application workload suite, writes them in the binary trace
+// format, and prints their statically measured characteristics (the
+// paper's Table 2 metrics).
+//
+// Usage:
+//
+//	mttrace -list
+//	mttrace -app Water -stats
+//	mttrace -app FFT -scale 2 -out fft.mtt
+//	mttrace -in fft.mtt -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list the application suite and exit")
+		app   = flag.String("app", "", "application to generate (see -list)")
+		in    = flag.String("in", "", "read a trace file instead of generating")
+		out   = flag.String("out", "", "write the trace to this file")
+		stats = flag.Bool("stats", false, "print the measured characteristics")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		seed  = flag.Int64("seed", 1994, "generation seed")
+	)
+	flag.Parse()
+	if err := run(*list, *app, *in, *out, *stats, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, app, in, out string, stats bool, scale float64, seed int64) error {
+	if list {
+		t := &report.Table{
+			Title:   "Application suite",
+			Columns: []string{"Name", "Grain", "Threads", "Cache", "Description"},
+		}
+		for _, a := range workload.Apps() {
+			t.AddRow(a.Name, a.Grain.String(), fmt.Sprint(a.Threads),
+				fmt.Sprintf("%d KB", a.CacheSize>>10), a.Description)
+		}
+		return t.Render(os.Stdout)
+	}
+
+	var tr *trace.Trace
+	switch {
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.ReadFrom(f)
+		if err != nil {
+			return err
+		}
+	case app != "":
+		a, err := workload.ByName(app)
+		if err != nil {
+			return err
+		}
+		tr, err = a.Build(workload.Params{Scale: scale, Seed: seed})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -app, -in or -list")
+	}
+
+	fmt.Printf("%s: %d threads, %d references, %d instructions\n",
+		tr.App, tr.NumThreads(), tr.TotalRefs(), tr.TotalInstructions())
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		n, err := tr.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", out, n)
+	}
+
+	if stats {
+		set := analysis.Analyze(tr)
+		c := set.Characteristics(nil)
+		t := &report.Table{
+			Title:   "Measured characteristics (Table 2 metrics)",
+			Columns: []string{"Metric", "Mean", "Dev (%)"},
+		}
+		t.AddRow("Pairwise sharing (refs)", report.F(c.Pairwise.Mean, 0), report.F(c.Pairwise.Dev, 1))
+		t.AddRow("N-way sharing (refs)", report.F(c.NWay.Mean, 0), report.F(c.NWay.Dev, 1))
+		t.AddRow("References per shared address", report.F(c.RefsPerSharedAddr.Mean, 1), report.F(c.RefsPerSharedAddr.Dev, 1))
+		t.AddRow("Shared references (%)", report.F(c.PctSharedRefs, 1), "")
+		t.AddRow("Thread length (instructions)", report.F(c.Length.Mean, 0), report.F(c.Length.Dev, 1))
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		// Reuse-distance summary: predicted fully-associative LRU miss
+		// ratios at several capacities (32-byte blocks).
+		h := set.Reuse(tr, 32)
+		rt := &report.Table{
+			Title:   "Reuse-distance profile (fully associative LRU prediction)",
+			Columns: []string{"Cache (blocks)", "Cache (KB)", "Predicted miss ratio"},
+		}
+		for _, blocks := range []int{128, 512, 2048, 8192} {
+			rt.AddRow(fmt.Sprint(blocks), fmt.Sprint(blocks*32>>10),
+				report.F(h.MissRatio(blocks), 3))
+		}
+		return rt.Render(os.Stdout)
+	}
+	return nil
+}

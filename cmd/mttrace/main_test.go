@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunModes(t *testing.T) {
+	if err := run(true, "", "", "", false, 1, 1); err != nil {
+		t.Errorf("list mode: %v", err)
+	}
+	if err := run(false, "", "", "", false, 1, 1); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if err := run(false, "NoSuchApp", "", "", false, 1, 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+
+	out := filepath.Join(t.TempDir(), "t.mtt")
+	if err := run(false, "Grav", "", out, true, 0.25, 7); err != nil {
+		t.Fatalf("generate+stats+write: %v", err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	// Round trip through -in.
+	if err := run(false, "", out, "", true, 1, 1); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	// Corrupt file rejected.
+	bad := filepath.Join(t.TempDir(), "bad.mtt")
+	os.WriteFile(bad, []byte("not a trace"), 0o644)
+	if err := run(false, "", bad, "", false, 1, 1); err == nil {
+		t.Error("corrupt trace accepted")
+	}
+}

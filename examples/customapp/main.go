@@ -1,0 +1,85 @@
+// Customapp shows how to drive the full pipeline with your own parallel
+// program instead of the built-in suite: record each thread's memory
+// references through a Recorder, then analyze, place and simulate exactly
+// as for the paper's workload.
+//
+// The example program is a tiny producer/consumer ring: thread i produces
+// into a shared buffer segment that thread i+1 consumes, with private
+// bookkeeping in between. Rings have strongly *pairwise* sharing — the
+// best case for SHARE-REFS — so this example also demonstrates when
+// sharing-based placement can matter at all: SHARE-REFS co-locates ring
+// neighbours and genuinely cuts invalidation misses, unlike the uniformly
+// sharing applications of the paper's suite.
+//
+// Run with: go run ./examples/customapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mtsim "repro"
+)
+
+const (
+	threads  = 16
+	segWords = 64
+	rounds   = 300
+)
+
+func buildRing() *mtsim.Trace {
+	tr := mtsim.NewTrace("ring", threads)
+	for i := 0; i < threads; i++ {
+		r := mtsim.NewRecorder(tr, i)
+		mySeg := mtsim.SharedBase + uint64(i)*segWords*8
+		nextSeg := mtsim.SharedBase + uint64((i+1)%threads)*segWords*8
+		private := uint64(i+1) << 20
+
+		for round := 0; round < rounds; round++ {
+			// Produce: fill our segment.
+			for w := 0; w < 8; w++ {
+				r.Compute(4)
+				r.Store(mySeg + uint64((round*8+w)%segWords)*8)
+			}
+			// Consume: drain the neighbour's segment.
+			for w := 0; w < 8; w++ {
+				r.Load(nextSeg + uint64((round*8+w)%segWords)*8)
+				r.Compute(3)
+			}
+			// Private bookkeeping.
+			r.Store(private + uint64(round%32)*8)
+			r.Compute(10)
+		}
+	}
+	return tr
+}
+
+func main() {
+	tr := buildRing()
+	if err := tr.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	set := mtsim.Analyze(tr)
+	c := set.Characteristics(nil)
+	fmt.Printf("ring: %d threads, %.1f%% shared references, pairwise sharing dev %.0f%%\n\n",
+		threads, c.PctSharedRefs, c.Pairwise.Dev)
+
+	const procs = 4
+	cfg := mtsim.DefaultConfig(procs)
+	fmt.Printf("%-12s %12s %14s\n", "algorithm", "exec time", "invalidation misses")
+	for _, alg := range []string{"SHARE-REFS", "MIN-SHARE", "RANDOM"} {
+		pl, err := mtsim.Place(set, alg, procs, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mtsim.Simulate(tr, pl, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %12d %14d\n", alg, res.ExecTime,
+			res.Totals().Misses[mtsim.InvalidationMiss])
+	}
+	fmt.Println("\nWith pairwise (non-uniform) sharing, SHARE-REFS co-locates ring")
+	fmt.Println("neighbours and eliminates their invalidation traffic — the effect")
+	fmt.Println("the paper went looking for, absent from its uniformly-sharing suite.")
+}

@@ -1,0 +1,153 @@
+// Package analysis performs the static, per-thread trace analysis the paper
+// feeds to its placement algorithms (§2, §3.1): per-thread address
+// footprints, pairwise and N-way inter-thread sharing, references per
+// shared address, percentage of shared references, and thread lengths
+// (the measured characteristics of Table 2).
+//
+// "Static" means derived from each thread's trace in isolation, with no
+// cross-thread temporal information — exactly the limitation the paper
+// identifies (§4.2): static shared-reference counts over-estimate runtime
+// coherence traffic by one to three orders of magnitude.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// RefCount tallies loads and stores to a single address by a single thread.
+type RefCount struct {
+	Reads  uint32
+	Writes uint32
+}
+
+// Total returns reads+writes.
+func (c RefCount) Total() uint64 { return uint64(c.Reads) + uint64(c.Writes) }
+
+// Profile summarizes one thread's memory footprint.
+type Profile struct {
+	// Thread is the thread ID within the application.
+	Thread int
+	// Shared maps each shared-segment address the thread touched to its
+	// reference counts.
+	Shared map[uint64]RefCount
+	// TotalRefs is the thread's total data reference count.
+	TotalRefs uint64
+	// SharedRefs is the number of references to the shared segment.
+	SharedRefs uint64
+	// PrivateAddrs is the number of distinct private addresses touched.
+	PrivateAddrs int
+	// Length is the thread's dynamic length in instructions.
+	Length uint64
+}
+
+// SharedAddrs returns the number of distinct shared addresses touched.
+func (p *Profile) SharedAddrs() int { return len(p.Shared) }
+
+// RefsPerSharedAddr returns the thread's temporal-locality metric used by
+// SHARE-ADDR: shared references divided by distinct shared addresses.
+// It returns 0 for a thread that touches no shared data.
+func (p *Profile) RefsPerSharedAddr() float64 {
+	if len(p.Shared) == 0 {
+		return 0
+	}
+	return float64(p.SharedRefs) / float64(len(p.Shared))
+}
+
+// ProfileThread computes a thread's footprint profile.
+func ProfileThread(t *trace.Thread) *Profile {
+	p := &Profile{Thread: t.ID, Shared: make(map[uint64]RefCount)}
+	private := make(map[uint64]struct{})
+	for c := t.Cursor(); ; {
+		e, ok := c.Next()
+		if !ok {
+			break
+		}
+		p.TotalRefs++
+		if trace.IsShared(e.Addr) {
+			p.SharedRefs++
+			rc := p.Shared[e.Addr]
+			if e.Kind == trace.Write {
+				rc.Writes++
+			} else {
+				rc.Reads++
+			}
+			p.Shared[e.Addr] = rc
+		} else {
+			private[e.Addr] = struct{}{}
+		}
+	}
+	p.PrivateAddrs = len(private)
+	p.Length = t.Instructions()
+	return p
+}
+
+// Set is the full static analysis of one application trace.
+type Set struct {
+	// App is the application name.
+	App string
+	// Profiles holds one profile per thread, indexed by thread ID.
+	Profiles []*Profile
+
+	// inverted index: shared address -> sharers, built lazily
+	sharers map[uint64][]addrUse
+}
+
+type addrUse struct {
+	thread int
+	count  RefCount
+}
+
+// Analyze profiles every thread of tr.
+func Analyze(tr *trace.Trace) *Set {
+	s := &Set{App: tr.App, Profiles: make([]*Profile, tr.NumThreads())}
+	for i, t := range tr.Threads {
+		s.Profiles[i] = ProfileThread(t)
+	}
+	return s
+}
+
+// NumThreads returns the number of threads analyzed.
+func (s *Set) NumThreads() int { return len(s.Profiles) }
+
+// invertedIndex returns the shared-address -> users index, building it on
+// first use.
+func (s *Set) invertedIndex() map[uint64][]addrUse {
+	if s.sharers == nil {
+		s.sharers = make(map[uint64][]addrUse)
+		for _, p := range s.Profiles {
+			for a, rc := range p.Shared {
+				s.sharers[a] = append(s.sharers[a], addrUse{thread: p.Thread, count: rc})
+			}
+		}
+	}
+	return s.sharers
+}
+
+// Lengths returns every thread's dynamic length, indexed by thread ID.
+func (s *Set) Lengths() []uint64 {
+	ls := make([]uint64, len(s.Profiles))
+	for i, p := range s.Profiles {
+		ls[i] = p.Length
+	}
+	return ls
+}
+
+// PrivateAddrs returns every thread's distinct private address count.
+func (s *Set) PrivateAddrs() []int {
+	ns := make([]int, len(s.Profiles))
+	for i, p := range s.Profiles {
+		ns[i] = p.PrivateAddrs
+	}
+	return ns
+}
+
+// String summarizes the set for diagnostics.
+func (s *Set) String() string {
+	var refs uint64
+	for _, p := range s.Profiles {
+		refs += p.TotalRefs
+	}
+	return fmt.Sprintf("analysis.Set{%s: %d threads, %d refs}", s.App, len(s.Profiles), refs)
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import "math/rand"
+
+// Characteristics is the measured-characteristics row the paper reports per
+// application in Table 2.
+type Characteristics struct {
+	// App is the application name.
+	App string
+	// Threads is the thread count.
+	Threads int
+	// Pairwise is inter-thread sharing at the two-threads-per-processor
+	// extreme: shared-references(ta, tb) over all thread pairs.
+	Pairwise Summary
+	// NWay is inter-thread sharing at the other extreme — the maximum
+	// number of threads per processor (two processors): total shared
+	// references within each half of random thread-balanced two-way
+	// partitions.
+	NWay Summary
+	// RefsPerSharedAddr is the temporal-locality metric: per-thread
+	// shared references per distinct shared address.
+	RefsPerSharedAddr Summary
+	// PctSharedRefs is the mean percentage of data references that
+	// target the shared segment.
+	PctSharedRefs float64
+	// Length is the simulated thread length in instructions.
+	Length Summary
+}
+
+// nwaySamples is how many random balanced 2-way partitions the N-way
+// statistic averages over. The paper computed the statistic for "the
+// maximum number of threads possible"; with the grouping unspecified we
+// sample balanced partitions, which is what a thread-balanced scheduler
+// induces.
+const nwaySamples = 16
+
+// Characteristics computes the Table 2 row for this application. The
+// sharing matrices are computed if not supplied (pass nil to let the
+// method derive them).
+func (s *Set) Characteristics(d *SharingData) Characteristics {
+	if d == nil {
+		d = s.Sharing()
+	}
+	n := len(s.Profiles)
+	c := Characteristics{App: s.App, Threads: n}
+
+	// Pairwise sharing over all distinct pairs.
+	var pair []float64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pair = append(pair, float64(d.SharedRefs[a][b]))
+		}
+	}
+	c.Pairwise = Summarize(pair)
+
+	// N-way: random balanced 2-way partitions; per-cluster total of
+	// within-cluster pairwise shared references.
+	rng := rand.New(rand.NewSource(int64(n)*7919 + 1))
+	var nway []float64
+	perm := make([]int, n)
+	for s := 0; s < nwaySamples; s++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		half := n / 2
+		groups := [][]int{perm[:half], perm[half:]}
+		for _, g := range groups {
+			var total uint64
+			for i := 0; i < len(g); i++ {
+				for j := i + 1; j < len(g); j++ {
+					total += d.SharedRefs[g[i]][g[j]]
+				}
+			}
+			nway = append(nway, float64(total))
+		}
+	}
+	c.NWay = Summarize(nway)
+
+	// Per-thread metrics.
+	var rpsa, pct, lens []float64
+	for _, p := range s.Profiles {
+		rpsa = append(rpsa, p.RefsPerSharedAddr())
+		if p.TotalRefs > 0 {
+			pct = append(pct, float64(p.SharedRefs)/float64(p.TotalRefs)*100)
+		}
+		lens = append(lens, float64(p.Length))
+	}
+	c.RefsPerSharedAddr = Summarize(rpsa)
+	c.PctSharedRefs = Summarize(pct).Mean
+	c.Length = Summarize(lens)
+	return c
+}

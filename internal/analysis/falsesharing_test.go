@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestFalseSharingClassification(t *testing.T) {
+	// Line size 32 bytes = 4 words. Construct three lines:
+	//   line 0: words 0,1 touched by thread 0 only      -> single-thread
+	//   line 1: word 4 touched by threads 0 and 1       -> true shared
+	//   line 2: word 8 by thread 0, word 9 by thread 1  -> false only
+	tr := trace.New("fs", 2)
+	r0 := trace.NewRecorder(tr, 0)
+	r0.Load(sh(0))
+	r0.Load(sh(1))
+	r0.Load(sh(4))
+	r0.Store(sh(8))
+	r0.Store(sh(8))
+	r1 := trace.NewRecorder(tr, 1)
+	r1.Load(sh(4))
+	r1.Load(sh(9))
+
+	rep := Analyze(tr).FalseSharing(32)
+	if rep.SingleThreadLines != 1 {
+		t.Errorf("single-thread lines = %d, want 1", rep.SingleThreadLines)
+	}
+	if rep.TrueSharedLines != 1 {
+		t.Errorf("true shared lines = %d, want 1", rep.TrueSharedLines)
+	}
+	if rep.FalseOnlyLines != 1 {
+		t.Errorf("false-only lines = %d, want 1", rep.FalseOnlyLines)
+	}
+	if rep.FalseOnlyRefs != 3 { // two stores to word 8 + one load of word 9
+		t.Errorf("false-only refs = %d, want 3", rep.FalseOnlyRefs)
+	}
+	if rep.SharedSegmentRefs != 7 {
+		t.Errorf("shared refs = %d, want 7", rep.SharedSegmentRefs)
+	}
+	if rep.MultiThreadLines() != 2 {
+		t.Errorf("multi-thread lines = %d, want 2", rep.MultiThreadLines())
+	}
+	if pct := rep.FalseOnlyRefsPct(); pct < 42 || pct > 43 {
+		t.Errorf("false-only pct = %.1f, want ~42.9", pct)
+	}
+}
+
+func TestFalseSharingEmpty(t *testing.T) {
+	tr := trace.New("fs", 1)
+	trace.NewRecorder(tr, 0).Load(pv(0))
+	rep := Analyze(tr).DefaultFalseSharing()
+	if rep.MultiThreadLines() != 0 || rep.FalseOnlyRefsPct() != 0 {
+		t.Errorf("private-only trace reports sharing: %+v", rep)
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+// Pairwise sharing matrices. All matrices are symmetric with zero
+// diagonals, indexed by thread ID.
+
+// SharingData bundles every statically derived quantity the placement
+// algorithms consume (§2 of the paper).
+type SharingData struct {
+	// App names the application the data was derived from.
+	App string
+	// SharedRefs[a][b] is shared-references(ta, tb): the number of
+	// references made by threads a and b to their common data addresses.
+	SharedRefs [][]uint64
+	// SharedAddrs[a][b] is the number of distinct addresses referenced by
+	// both a and b.
+	SharedAddrs [][]uint64
+	// WriteSharedRefs[a][b] counts references by a and b to common
+	// addresses that at least one of the two writes — the invalidation-
+	// relevant subset used by MAX-WRITES.
+	WriteSharedRefs [][]uint64
+	// InvalidatingRefs[a][b] counts the write references by a and b to
+	// their common addresses — the references that can cause
+	// invalidations if a and b run on different processors (MIN-INVS).
+	InvalidatingRefs [][]uint64
+	// PrivateAddrs[t] is thread t's distinct private address count
+	// (MIN-PRIV).
+	PrivateAddrs []int
+	// Lengths[t] is thread t's dynamic length in instructions (LOAD-BAL
+	// and the +LB variants).
+	Lengths []uint64
+}
+
+// NumThreads returns the number of threads covered.
+func (d *SharingData) NumThreads() int { return len(d.Lengths) }
+
+func newMatrix(n int) [][]uint64 {
+	m := make([][]uint64, n)
+	for i := range m {
+		m[i] = make([]uint64, n)
+	}
+	return m
+}
+
+// Sharing computes the full SharingData for the set. The computation walks
+// the inverted shared-address index once: an address used by k threads
+// contributes to k·(k-1)/2 pairs.
+func (s *Set) Sharing() *SharingData {
+	n := len(s.Profiles)
+	d := &SharingData{
+		App:              s.App,
+		SharedRefs:       newMatrix(n),
+		SharedAddrs:      newMatrix(n),
+		WriteSharedRefs:  newMatrix(n),
+		InvalidatingRefs: newMatrix(n),
+		PrivateAddrs:     s.PrivateAddrs(),
+		Lengths:          s.Lengths(),
+	}
+	for _, users := range s.invertedIndex() {
+		for i := 0; i < len(users); i++ {
+			for j := i + 1; j < len(users); j++ {
+				a, b := users[i], users[j]
+				refs := a.count.Total() + b.count.Total()
+				d.SharedRefs[a.thread][b.thread] += refs
+				d.SharedRefs[b.thread][a.thread] += refs
+				d.SharedAddrs[a.thread][b.thread]++
+				d.SharedAddrs[b.thread][a.thread]++
+				if a.count.Writes > 0 || b.count.Writes > 0 {
+					d.WriteSharedRefs[a.thread][b.thread] += refs
+					d.WriteSharedRefs[b.thread][a.thread] += refs
+				}
+				if w := uint64(a.count.Writes) + uint64(b.count.Writes); w > 0 {
+					d.InvalidatingRefs[a.thread][b.thread] += w
+					d.InvalidatingRefs[b.thread][a.thread] += w
+				}
+			}
+		}
+	}
+	return d
+}
+
+// PairSharedRefs returns shared-references(a, b) directly from the
+// profiles, without building the full matrix. Used by tests as an
+// independent oracle for Sharing.
+func (s *Set) PairSharedRefs(a, b int) uint64 {
+	pa, pb := s.Profiles[a], s.Profiles[b]
+	// iterate the smaller footprint
+	if len(pb.Shared) < len(pa.Shared) {
+		pa, pb = pb, pa
+	}
+	var total uint64
+	for addr, ca := range pa.Shared {
+		if cb, ok := pb.Shared[addr]; ok {
+			total += ca.Total() + cb.Total()
+		}
+	}
+	return total
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Reuse-distance (LRU stack distance) analysis. For each reference, the
+// stack distance is the number of distinct blocks touched since the
+// previous access to the same block; a fully associative LRU cache of S
+// blocks misses exactly the references with distance >= S (plus cold
+// references). The histogram therefore predicts the miss ratio of ideal
+// caches of every size at once — the analytical counterpart of the
+// simulator's capacity behaviour, computed in O(n log n) with a Fenwick
+// tree over access times (Olken's algorithm).
+
+// ReuseHistogram summarizes one reference stream's stack distances at
+// power-of-two granularity.
+type ReuseHistogram struct {
+	// Buckets[i] counts references with stack distance in
+	// [2^i, 2^(i+1)); Buckets[0] holds distances 0 and 1.
+	Buckets []uint64
+	// Cold counts first-ever references to a block.
+	Cold uint64
+	// Total counts all references.
+	Total uint64
+	// Distinct counts distinct blocks.
+	Distinct int
+}
+
+// fenwick is a binary indexed tree over access-time slots.
+type fenwick struct{ tree []int32 }
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int32, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += int32(delta)
+	}
+}
+
+// sum returns the prefix sum over slots [0, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += int(f.tree[i])
+	}
+	return s
+}
+
+// ThreadReuse computes the reuse histogram of one thread's reference
+// stream at the given block size.
+func ThreadReuse(t *trace.Thread, blockSize int) *ReuseHistogram {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("analysis: block size %d not a positive power of two", blockSize))
+	}
+	shift := uint(0)
+	for 1<<shift < blockSize {
+		shift++
+	}
+	n := t.Refs()
+	h := &ReuseHistogram{Total: uint64(n)}
+	last := make(map[uint64]int, 1024) // block -> time of previous access
+	bit := newFenwick(n)
+	live := 0 // blocks currently marked in the tree
+
+	time := 0
+	for c := t.Cursor(); ; time++ {
+		e, ok := c.Next()
+		if !ok {
+			break
+		}
+		block := e.Addr >> shift
+		if prev, seen := last[block]; seen {
+			// Distance = live blocks accessed after prev.
+			dist := live - bit.sum(prev)
+			h.record(dist)
+			bit.add(prev, -1)
+			live--
+		} else {
+			h.Cold++
+		}
+		last[block] = time
+		bit.add(time, 1)
+		live++
+	}
+	h.Distinct = len(last)
+	return h
+}
+
+func (h *ReuseHistogram) record(dist int) {
+	b := 0
+	for d := dist; d > 1; d >>= 1 {
+		b++
+	}
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+}
+
+// MissRatio predicts the miss ratio of a fully associative LRU cache with
+// the given number of blocks: cold misses plus references whose stack
+// distance is at least the capacity. Bucket granularity makes the estimate
+// conservative (a bucket straddling the capacity counts as missing).
+func (h *ReuseHistogram) MissRatio(cacheBlocks int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	misses := h.Cold
+	for i, count := range h.Buckets {
+		lo := 1
+		if i > 0 {
+			lo = 1 << i
+		}
+		if lo >= cacheBlocks {
+			misses += count
+		}
+	}
+	return float64(misses) / float64(h.Total)
+}
+
+// Merge folds another histogram into this one (e.g. to aggregate threads).
+func (h *ReuseHistogram) Merge(o *ReuseHistogram) {
+	for len(h.Buckets) < len(o.Buckets) {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+	h.Cold += o.Cold
+	h.Total += o.Total
+	h.Distinct += o.Distinct // distinct per thread; an upper bound overall
+}
+
+// Reuse computes the merged reuse histogram of every thread in the set's
+// application at the given block size.
+func (s *Set) Reuse(tr *trace.Trace, blockSize int) *ReuseHistogram {
+	total := &ReuseHistogram{}
+	for _, t := range tr.Threads {
+		total.Merge(ThreadReuse(t, blockSize))
+	}
+	return total
+}

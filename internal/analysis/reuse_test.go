@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// bruteDistances computes stack distances by the naive O(n^2) definition.
+func bruteDistances(addrs []uint64, blockSize int) (dists []int, cold int) {
+	shift := uint(0)
+	for 1<<shift < blockSize {
+		shift++
+	}
+	var seq []uint64 // blocks in access order
+	for _, a := range addrs {
+		b := a >> shift
+		prev := -1
+		for i := len(seq) - 1; i >= 0; i-- {
+			if seq[i] == b {
+				prev = i
+				break
+			}
+		}
+		if prev == -1 {
+			cold++
+		} else {
+			distinct := map[uint64]struct{}{}
+			for _, x := range seq[prev+1:] {
+				distinct[x] = struct{}{}
+			}
+			dists = append(dists, len(distinct))
+		}
+		seq = append(seq, b)
+	}
+	return dists, cold
+}
+
+func traceOf(addrs []uint64) *trace.Thread {
+	tr := trace.New("r", 1)
+	r := trace.NewRecorder(tr, 0)
+	for _, a := range addrs {
+		r.Load(a)
+	}
+	return tr.Threads[0]
+}
+
+func TestThreadReuseMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(200)
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(30)) * 32 // block-aligned, colliding
+		}
+		h := ThreadReuse(traceOf(addrs), 32)
+		dists, cold := bruteDistances(addrs, 32)
+
+		if h.Cold != uint64(cold) {
+			t.Fatalf("trial %d: cold = %d, want %d", trial, h.Cold, cold)
+		}
+		// Rebuild the bucket histogram from the brute distances.
+		want := make([]uint64, len(h.Buckets))
+		for _, d := range dists {
+			b := 0
+			for x := d; x > 1; x >>= 1 {
+				b++
+			}
+			for len(want) <= b {
+				want = append(want, 0)
+			}
+			want[b]++
+		}
+		if len(want) != len(h.Buckets) {
+			t.Fatalf("trial %d: bucket count %d vs %d", trial, len(h.Buckets), len(want))
+		}
+		for i := range want {
+			if h.Buckets[i] != want[i] {
+				t.Fatalf("trial %d: bucket %d = %d, want %d", trial, i, h.Buckets[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReuseSimplePatterns(t *testing.T) {
+	// Sequential scan: every re-access in the second pass has distance
+	// equal to the number of distinct blocks - ... here: every ref in
+	// pass 2 has distance 9 (the 9 other blocks).
+	var addrs []uint64
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 10; i++ {
+			addrs = append(addrs, uint64(i)*32)
+		}
+	}
+	h := ThreadReuse(traceOf(addrs), 32)
+	if h.Cold != 10 {
+		t.Errorf("cold = %d, want 10", h.Cold)
+	}
+	if h.Distinct != 10 {
+		t.Errorf("distinct = %d, want 10", h.Distinct)
+	}
+	// Distance 9 lands in bucket 3 ([8,16)).
+	if h.Buckets[3] != 10 {
+		t.Errorf("buckets = %v, want all 10 re-refs at distance 9", h.Buckets)
+	}
+	// An LRU cache of 16 blocks captures the scan; 8 does not.
+	if r := h.MissRatio(16); r != 0.5 { // only the 10 cold of 20
+		t.Errorf("miss ratio @16 = %v, want 0.5", r)
+	}
+	if r := h.MissRatio(8); r != 1.0 {
+		t.Errorf("miss ratio @8 = %v, want 1.0", r)
+	}
+}
+
+func TestReuseTightLoop(t *testing.T) {
+	// A-B-A-B...: distances of 1 after warmup; any cache of >= 2 blocks
+	// holds it.
+	var addrs []uint64
+	for i := 0; i < 50; i++ {
+		addrs = append(addrs, uint64(i%2)*32)
+	}
+	h := ThreadReuse(traceOf(addrs), 32)
+	if r := h.MissRatio(4); r > 0.05 {
+		t.Errorf("tight loop misses %.2f at 4 blocks", r)
+	}
+}
+
+func TestMissRatioMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	addrs := make([]uint64, 3000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(500)) * 32
+	}
+	h := ThreadReuse(traceOf(addrs), 32)
+	prev := 1.1
+	for _, size := range []int{1, 4, 16, 64, 256, 1024} {
+		r := h.MissRatio(size)
+		if r > prev+1e-12 {
+			t.Fatalf("miss ratio not monotone: %v at %d after %v", r, size, prev)
+		}
+		prev = r
+	}
+}
+
+func TestReuseMergeAndSetHelper(t *testing.T) {
+	tr := trace.New("m", 2)
+	for i := 0; i < 2; i++ {
+		r := trace.NewRecorder(tr, i)
+		for j := 0; j < 20; j++ {
+			r.Load(trace.SharedBase + uint64(j%5)*32)
+		}
+	}
+	set := Analyze(tr)
+	h := set.Reuse(tr, 32)
+	if h.Total != 40 {
+		t.Errorf("total = %d, want 40", h.Total)
+	}
+	if h.Cold != 10 { // 5 blocks cold per thread
+		t.Errorf("cold = %d, want 10", h.Cold)
+	}
+}
+
+func TestReusePanicsOnBadBlockSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ThreadReuse(traceOf([]uint64{0}), 24)
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import "math"
+
+// Summary is a mean together with its percentage standard deviation, the
+// "Mean / Dev(%)" presentation Table 2 of the paper uses.
+type Summary struct {
+	Mean float64
+	// Dev is the standard deviation expressed as a percentage of the
+	// mean (0 when the mean is 0).
+	Dev float64
+}
+
+// Summarize computes the mean and percent deviation of xs. An empty slice
+// yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(xs)))
+	s := Summary{Mean: mean}
+	if mean != 0 {
+		s.Dev = sd / mean * 100
+	}
+	return s
+}
+
+// AbsDev returns the standard deviation as an absolute quantity (the
+// paper's "absolute deviation" used in §4.3's app selection: a large
+// percentage deviation on a tiny mean is still a tiny absolute deviation).
+func (s Summary) AbsDev() float64 { return s.Dev / 100 * s.Mean }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestProtocolComparison(t *testing.T) {
+	s := testSuite()
+	rows, err := s.ProtocolComparison("Fullconn", 8, []string{"LOAD-BAL", "RANDOM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	byProto := map[sim.Protocol][]ProtocolRow{}
+	for _, r := range rows {
+		byProto[r.Protocol] = append(byProto[r.Protocol], r)
+	}
+	for _, r := range byProto[sim.Invalidate] {
+		if r.UpdatesPerKilo != 0 {
+			t.Errorf("invalidate run reports updates: %+v", r)
+		}
+		if r.InvalidationsPerKilo == 0 {
+			t.Errorf("Fullconn under invalidate sent no invalidations: %+v", r)
+		}
+	}
+	for _, r := range byProto[sim.Update] {
+		if r.InvalidationsPerKilo != 0 {
+			t.Errorf("update run reports invalidations: %+v", r)
+		}
+		if r.UpdatesPerKilo == 0 {
+			t.Errorf("Fullconn under update sent no updates: %+v", r)
+		}
+	}
+	out := ProtocolReport("Fullconn", 8, rows).String()
+	if !strings.Contains(out, "update") || !strings.Contains(out, "invalidate") {
+		t.Error("report missing protocol names")
+	}
+}
+
+func TestLatencySweep(t *testing.T) {
+	s := testSuite()
+	rows, err := s.LatencySweep("FFT", 8, []uint64{10, 50, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The paper's conclusion must hold at every latency: LOAD-BAL gains
+	// clearly over RANDOM, and the best sharing algorithm does not beat
+	// LOAD-BAL meaningfully.
+	for _, r := range rows {
+		if r.LoadBalGain < 5 {
+			t.Errorf("latency %d: LOAD-BAL gain %.1f%%, want clear win", r.Latency, r.LoadBalGain)
+		}
+		if r.BestSharingGain > r.LoadBalGain+5 {
+			t.Errorf("latency %d: sharing gain %.1f%% beats LOAD-BAL's %.1f%%",
+				r.Latency, r.BestSharingGain, r.LoadBalGain)
+		}
+	}
+	out := LatencyReport("FFT", 8, rows).String()
+	if !strings.Contains(out, "150") {
+		t.Error("report missing latency row")
+	}
+}
+
+func TestContentionSweep(t *testing.T) {
+	s := testSuite()
+	rows, err := s.ContentionSweep("MP3D", "LOAD-BAL", 8, []int{0, 1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].WaitPerTransaction != 0 || rows[0].Normalized != 1 {
+		t.Errorf("uncontended baseline wrong: %+v", rows[0])
+	}
+	// One channel must hurt more than sixteen.
+	if rows[1].ExecTime < rows[3].ExecTime {
+		t.Errorf("1 channel (%d) faster than 16 (%d)", rows[1].ExecTime, rows[3].ExecTime)
+	}
+	if rows[1].WaitPerTransaction == 0 {
+		t.Error("single channel shows no queueing")
+	}
+	out := ContentionReport("MP3D", "LOAD-BAL", 8, rows).String()
+	if !strings.Contains(out, "uncontended") {
+		t.Error("report missing note")
+	}
+}
+
+func TestContentionSweepSignature(t *testing.T) {
+	s := testSuite()
+	if _, err := s.ContentionSweep("NoApp", "LOAD-BAL", 4, []int{0}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := s.ProtocolComparison("Water", 4, []string{"NOPE"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

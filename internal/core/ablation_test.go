@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssociativitySweep(t *testing.T) {
+	s := testSuite()
+	rows, err := s.AssociativitySweep("Patch", "LOAD-BAL", 8, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Normalized != 1.0 {
+		t.Errorf("first row not the baseline: %v", rows[0].Normalized)
+	}
+	// Associativity must not increase inter-thread conflicts, and the
+	// 4-way cache should reduce them versus direct-mapped.
+	if rows[2].InterConflictsPerKilo > rows[0].InterConflictsPerKilo {
+		t.Errorf("4-way inter conflicts %.2f exceed direct-mapped %.2f",
+			rows[2].InterConflictsPerKilo, rows[0].InterConflictsPerKilo)
+	}
+	out := AssocReport("Patch", "LOAD-BAL", 8, rows).String()
+	if !strings.Contains(out, "Ways") {
+		t.Error("report missing Ways column")
+	}
+}
+
+func TestContextSweep(t *testing.T) {
+	s := testSuite()
+	rows, err := s.ContextSweep("Water", 4, []int{1, 2, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// More contexts must not hurt execution time much, and measured
+	// efficiency with several contexts must exceed the single-context
+	// efficiency (latency gets hidden).
+	if rows[2].MeasuredEfficiency <= rows[0].MeasuredEfficiency {
+		t.Errorf("efficiency did not improve with contexts: %v -> %v",
+			rows[0].MeasuredEfficiency, rows[2].MeasuredEfficiency)
+	}
+	for _, r := range rows {
+		if r.MeasuredEfficiency <= 0 || r.MeasuredEfficiency > 1 {
+			t.Errorf("efficiency out of range: %+v", r)
+		}
+		if r.Deterministic < r.MVA-1e-9 {
+			t.Errorf("deterministic model below MVA: %+v", r)
+		}
+		// The analytical models should land in the right ballpark of
+		// the measurement (they ignore conflicts-vs-contexts coupling,
+		// so allow a generous band).
+		if r.MVA < r.MeasuredEfficiency*0.5 || r.Deterministic > r.MeasuredEfficiency*2.5 {
+			t.Errorf("models far from measurement: %+v", r)
+		}
+	}
+	out := ContextReport("Water", 4, rows).String()
+	if !strings.Contains(out, "MVA") {
+		t.Error("report missing MVA column")
+	}
+}
+
+func TestUniformitySweep(t *testing.T) {
+	s := testSuite()
+	rows, err := s.UniformitySweep([]float64{1.0, 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	uniform, pairwise := rows[0], rows[1]
+	// The paper's regime: with uniform sharing, SHARE-REFS cannot beat
+	// RANDOM's invalidation misses by much.
+	if uniform.ShareRefsInvPerKilo < uniform.RandomInvPerKilo*0.7 {
+		t.Errorf("uniform sharing: SHARE-REFS inv %.2f unexpectedly far below RANDOM %.2f",
+			uniform.ShareRefsInvPerKilo, uniform.RandomInvPerKilo)
+	}
+	// The break-down regime: with pairwise sharing, SHARE-REFS recovers
+	// most invalidation misses.
+	if pairwise.ShareRefsInvPerKilo > pairwise.RandomInvPerKilo*0.6 {
+		t.Errorf("pairwise sharing: SHARE-REFS inv %.2f not clearly below RANDOM %.2f",
+			pairwise.ShareRefsInvPerKilo, pairwise.RandomInvPerKilo)
+	}
+	out := UniformityReport(rows).String()
+	if !strings.Contains(out, "KL-SHARE") {
+		t.Error("report missing KL-SHARE column")
+	}
+}
+
+func TestWriteRunStudy(t *testing.T) {
+	s := testSuite()
+	rows, err := s.WriteRunStudy([]string{"FFT", "Water", "Fullconn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]WriteRunRow{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	// FFT: migratory data dominates its multi-writer blocks (the paper
+	// reports 73% of shared elements migratory).
+	if fft := byApp["FFT"]; fft.Stats.MigratoryPct() < 50 {
+		t.Errorf("FFT migratory = %.1f%%, want majority", fft.Stats.MigratoryPct())
+	}
+	// Water: owner-written positions — single-writer blocks only.
+	if w := byApp["Water"]; w.Stats.MigratoryBlocks+w.Stats.PingPongBlocks > w.Stats.SingleWriterBlocks/10 {
+		t.Errorf("Water shows heavy multi-writer data: %+v", w.Stats)
+	}
+	// Fullconn: random message slots ping-pong.
+	if f := byApp["Fullconn"]; f.Stats.MeanRunLength > 3 && f.Stats.PingPongBlocks == 0 {
+		t.Errorf("Fullconn write-run stats implausible: %+v", f.Stats)
+	}
+	out := WriteRunReport(rows).String()
+	if !strings.Contains(out, "Migratory %") {
+		t.Error("report missing migratory column")
+	}
+}
+
+func TestCacheSizeSweep(t *testing.T) {
+	s := testSuite()
+	rows, err := s.CacheSizeSweep("Water", "LOAD-BAL", 8, []int{8 << 10, 64 << 10, 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Conflicts must fall monotonically with capacity and be ~zero at
+	// 8 MB; the compulsory+invalidation component must not grow much
+	// smaller (it is capacity-independent, modulo conflicts converting
+	// into invalidation misses).
+	if rows[0].ConflictsPerKilo <= rows[2].ConflictsPerKilo {
+		t.Errorf("conflicts did not fall with cache size: %+v", rows)
+	}
+	if rows[2].ConflictsPerKilo > 0.5 {
+		t.Errorf("8 MB cache still shows %.2f conflicts/1k", rows[2].ConflictsPerKilo)
+	}
+	lo, hi := rows[0].CompulsoryInvalidationPerKilo, rows[2].CompulsoryInvalidationPerKilo
+	if hi < 0.5*lo || hi > 2.5*lo {
+		t.Errorf("comp+inv not capacity-stable: %.2f -> %.2f", lo, hi)
+	}
+	out := CacheSizeReport("Water", "LOAD-BAL", 8, rows).String()
+	if !strings.Contains(out, "8192 KB") {
+		t.Error("report missing 8 MB row")
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDynamicComparison(t *testing.T) {
+	s := testSuite()
+	rows, err := s.DynamicComparison([]string{"FFT", "Gauss"}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.StaticLoadBal == 0 || r.DynamicFIFONorm <= 0 || r.DynamicLPTNorm <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		// The online scheduler needs no a-priori knowledge yet must land
+		// in the same ballpark as the oracle static placement.
+		if r.DynamicFIFONorm > 2 {
+			t.Errorf("%s: dynamic FIFO %.2fx LOAD-BAL — scheduler broken?", r.App, r.DynamicFIFONorm)
+		}
+	}
+	// FFT's skew: online FIFO must clearly beat static RANDOM.
+	for _, r := range rows {
+		if r.App == "FFT" && r.DynamicFIFONorm > r.StaticRandomNorm {
+			t.Errorf("FFT: dynamic FIFO (%.2f) worse than static RANDOM (%.2f)",
+				r.DynamicFIFONorm, r.StaticRandomNorm)
+		}
+	}
+	out := DynamicReport(8, 2, rows).String()
+	if !strings.Contains(out, "DYNAMIC fifo") {
+		t.Error("report missing dynamic column")
+	}
+}

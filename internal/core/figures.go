@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// FigureCell is one bar of an execution-time figure: an algorithm at a
+// processor count.
+type FigureCell struct {
+	Algorithm string
+	Procs     int
+	// ExecTime is the maximum execution time over all processors.
+	ExecTime uint64
+	// Normalized is ExecTime divided by the baseline algorithm's at the
+	// same processor count.
+	Normalized float64
+}
+
+// Figure is the data behind Figures 2-4: every placement algorithm at
+// every processor count, normalized to RANDOM.
+type Figure struct {
+	App      string
+	Baseline string
+	Cells    []FigureCell
+}
+
+// ExecutionFigure runs all fourteen static algorithms for every processor
+// count and normalizes execution time to RANDOM (Figures 2, 3 and 4 use
+// LocusRoute, FFT and Barnes-Hut respectively).
+func (s *Suite) ExecutionFigure(app string) (*Figure, error) {
+	f := &Figure{App: app, Baseline: "RANDOM"}
+	for _, procs := range s.opts.ProcCounts {
+		results, err := s.RunAlgorithms(app, AllAlgorithms(), procs, false)
+		if err != nil {
+			return nil, err
+		}
+		var base uint64
+		for _, r := range results {
+			if r.Name == f.Baseline {
+				base = r.Result.ExecTime
+			}
+		}
+		if base == 0 {
+			return nil, fmt.Errorf("core: %s: baseline %s missing", app, f.Baseline)
+		}
+		for _, r := range results {
+			f.Cells = append(f.Cells, FigureCell{
+				Algorithm:  r.Name,
+				Procs:      procs,
+				ExecTime:   r.Result.ExecTime,
+				Normalized: float64(r.Result.ExecTime) / float64(base),
+			})
+		}
+	}
+	return f, nil
+}
+
+// Cell returns the named cell, or nil.
+func (f *Figure) Cell(alg string, procs int) *FigureCell {
+	for i := range f.Cells {
+		if f.Cells[i].Algorithm == alg && f.Cells[i].Procs == procs {
+			return &f.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Chart renders the figure as a grouped bar chart in the paper's layout:
+// one group per processor count, one bar per algorithm, height =
+// normalized execution time.
+func (f *Figure) Chart(title string) *report.BarChart {
+	c := &report.BarChart{
+		Title: title,
+		Note:  fmt.Sprintf("(execution time normalized to %s; shorter is faster)", f.Baseline),
+	}
+	groups := make(map[int]*report.BarGroup)
+	var order []int
+	for _, cell := range f.Cells {
+		g, ok := groups[cell.Procs]
+		if !ok {
+			g = &report.BarGroup{Label: fmt.Sprintf("%d processors", cell.Procs)}
+			groups[cell.Procs] = g
+			order = append(order, cell.Procs)
+		}
+		g.Bars = append(g.Bars, report.BarItem{Label: cell.Algorithm, Value: cell.Normalized})
+	}
+	for _, p := range order {
+		c.Groups = append(c.Groups, *groups[p])
+	}
+	return c
+}
+
+// MissComponentCell is one bar of Figure 5: the miss components of one
+// placement algorithm at one processor count.
+type MissComponentCell struct {
+	Algorithm string
+	Procs     int
+	// ThreadsPerProc is threads/processors for the x-axis.
+	ThreadsPerProc float64
+	// PerKilo are misses per 1000 references by kind (compulsory,
+	// intra-thread conflict, inter-thread conflict, invalidation).
+	PerKilo [4]float64
+	// TotalPerKilo is total misses per 1000 references.
+	TotalPerKilo float64
+}
+
+// CompulsoryPlusInvalidation returns the figure's key quantity: compulsory
+// plus invalidation misses per 1000 references.
+func (c MissComponentCell) CompulsoryPlusInvalidation() float64 {
+	return c.PerKilo[sim.Compulsory] + c.PerKilo[sim.InvalidationMiss]
+}
+
+// MissComponentFigure computes Figure 5 for an application: the cache-miss
+// components for every algorithm and processor count.
+func (s *Suite) MissComponentFigure(app string) ([]MissComponentCell, error) {
+	tr, err := s.Trace(app)
+	if err != nil {
+		return nil, err
+	}
+	threads := float64(tr.NumThreads())
+	var cells []MissComponentCell
+	for _, procs := range s.opts.ProcCounts {
+		results, err := s.RunAlgorithms(app, AllAlgorithms(), procs, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			tot := r.Result.Totals()
+			cell := MissComponentCell{
+				Algorithm:      r.Name,
+				Procs:          procs,
+				ThreadsPerProc: threads / float64(procs),
+			}
+			for k := 0; k < 4; k++ {
+				cell.PerKilo[k] = float64(tot.Misses[k]) / float64(tot.Refs) * 1000
+				cell.TotalPerKilo += cell.PerKilo[k]
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// MissComponentReport renders Figure 5 as a table: one row per
+// (processors, algorithm), miss components per 1000 references.
+func MissComponentReport(app string, cells []MissComponentCell) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Figure 5: Cache miss components for %s (misses per 1000 references)", app),
+		Note:  "(compulsory + invalidation stays ~constant across placement algorithms at fixed threads/processor)",
+		Columns: []string{"Procs", "Thr/Proc", "Algorithm", "Compulsory", "Intra-conflict",
+			"Inter-conflict", "Invalidation", "Comp+Inv", "Total"},
+	}
+	for _, c := range cells {
+		t.AddRow(fmt.Sprint(c.Procs), report.F(c.ThreadsPerProc, 1), c.Algorithm,
+			report.F(c.PerKilo[sim.Compulsory], 2),
+			report.F(c.PerKilo[sim.ConflictIntra], 2),
+			report.F(c.PerKilo[sim.ConflictInter], 2),
+			report.F(c.PerKilo[sim.InvalidationMiss], 2),
+			report.F(c.CompulsoryPlusInvalidation(), 2),
+			report.F(c.TotalPerKilo, 2))
+	}
+	return t
+}
+
+// InvarianceSpread measures the paper's headline claim for one processor
+// count: the spread (max-min, in misses per 1000 references) of compulsory
+// plus invalidation misses across placement algorithms. Small spreads mean
+// the components are insensitive to placement.
+func InvarianceSpread(cells []MissComponentCell, procs int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range cells {
+		if c.Procs != procs {
+			continue
+		}
+		v := c.CompulsoryPlusInvalidation()
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/workload"
+)
+
+// ResultBundle is the JSON-serializable record of one full experiment
+// regeneration: everything EXPERIMENTS.md reports, in machine-readable
+// form, so two runs (e.g. before and after a workload change) can be
+// diffed mechanically.
+type ResultBundle struct {
+	// Params echoes the workload generation parameters.
+	Params workload.Params `json:"params"`
+	// ProcCounts echoes the processor sweep.
+	ProcCounts []int `json:"procCounts"`
+
+	Table1  []Table1Row                `json:"table1,omitempty"`
+	Table2  []analysis.Characteristics `json:"table2,omitempty"`
+	Figures map[string][]FigureCell    `json:"figures,omitempty"`
+	Figure5 []MissComponentCell        `json:"figure5,omitempty"`
+	Table4  []Table4Row                `json:"table4,omitempty"`
+	Table5  []Table5Cell               `json:"table5,omitempty"`
+}
+
+// CollectResults regenerates every table and figure into a bundle.
+// fig5App selects the Figure 5 application (the paper shows one
+// representative program).
+func (s *Suite) CollectResults(fig5App string) (*ResultBundle, error) {
+	b := &ResultBundle{
+		Params:     s.opts.Params,
+		ProcCounts: s.opts.ProcCounts,
+		Figures:    make(map[string][]FigureCell),
+	}
+	var err error
+	if b.Table1, err = s.Table1(); err != nil {
+		return nil, fmt.Errorf("table 1: %w", err)
+	}
+	if b.Table2, err = s.Table2(); err != nil {
+		return nil, fmt.Errorf("table 2: %w", err)
+	}
+	for _, app := range []string{"LocusRoute", "FFT", "Barnes-Hut"} {
+		fig, err := s.ExecutionFigure(app)
+		if err != nil {
+			return nil, fmt.Errorf("figure for %s: %w", app, err)
+		}
+		b.Figures[app] = fig.Cells
+	}
+	if b.Figure5, err = s.MissComponentFigure(fig5App); err != nil {
+		return nil, fmt.Errorf("figure 5: %w", err)
+	}
+	if b.Table4, err = s.Table4(); err != nil {
+		return nil, fmt.Errorf("table 4: %w", err)
+	}
+	if b.Table5, err = s.Table5(); err != nil {
+		return nil, fmt.Errorf("table 5: %w", err)
+	}
+	return b, nil
+}
+
+// WriteJSON serializes the bundle with stable indentation.
+func (b *ResultBundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// SaveJSON writes the bundle to a file, creating parent directories.
+func (b *ResultBundle) SaveJSON(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if werr := b.WriteJSON(f); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+// LoadResults reads a bundle written by SaveJSON.
+func LoadResults(path string) (*ResultBundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var b ResultBundle
+	if err := json.NewDecoder(f).Decode(&b); err != nil {
+		return nil, fmt.Errorf("core: decoding %s: %w", path, err)
+	}
+	return &b, nil
+}

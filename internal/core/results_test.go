@@ -1,0 +1,60 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestResultBundleRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full regeneration is slow")
+	}
+	s := testSuite()
+	b, err := s.CollectResults("MP3D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Table1) != 14 || len(b.Table2) != 14 || len(b.Table4) != 14 {
+		t.Fatalf("incomplete bundle: %d/%d/%d rows", len(b.Table1), len(b.Table2), len(b.Table4))
+	}
+	if len(b.Figures) != 3 || len(b.Figure5) == 0 || len(b.Table5) == 0 {
+		t.Fatal("missing figures in bundle")
+	}
+
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := b.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Table1, got.Table1) {
+		t.Error("table 1 changed through JSON round trip")
+	}
+	if !reflect.DeepEqual(b.Table5, got.Table5) {
+		t.Error("table 5 changed through JSON round trip")
+	}
+	if !reflect.DeepEqual(b.Figures["FFT"], got.Figures["FFT"]) {
+		t.Error("FFT figure changed through JSON round trip")
+	}
+}
+
+func TestLoadResultsErrors(t *testing.T) {
+	if _, err := LoadResults("/nonexistent/path.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResults(bad); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,299 @@
+// Package core orchestrates the paper's experiments: it builds the
+// fourteen-application workload, derives the static sharing data, computes
+// every placement, drives the simulator, and produces the data behind each
+// of the paper's tables and figures (Tables 1-5, Figures 2-5).
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures a Suite.
+type Options struct {
+	// Params controls workload generation (scale and seed).
+	Params workload.Params
+	// ProcCounts are the processor configurations swept by the figures;
+	// the paper uses 2, 4, 8 and 16.
+	ProcCounts []int
+	// RandomSeed seeds the RANDOM placement algorithm.
+	RandomSeed int64
+	// Parallelism bounds concurrent simulations (default: NumCPU).
+	Parallelism int
+}
+
+// DefaultOptions returns the paper's configuration sweep at the library's
+// default workload scale.
+func DefaultOptions() Options {
+	return Options{
+		Params:     workload.DefaultParams(),
+		ProcCounts: []int{2, 4, 8, 16},
+		RandomSeed: 1,
+	}
+}
+
+// Suite lazily builds and caches traces, analyses and coherence
+// measurements for the application suite. It is safe for concurrent use.
+type Suite struct {
+	opts Options
+
+	mu        sync.Mutex
+	traces    map[string]*trace.Trace
+	sets      map[string]*analysis.Set
+	sharing   map[string]*analysis.SharingData
+	coherence map[string]*coherenceEntry
+}
+
+type coherenceEntry struct {
+	matrix [][]uint64
+	result *sim.Result
+}
+
+// NewSuite returns a Suite over the given options.
+func NewSuite(opts Options) *Suite {
+	if len(opts.ProcCounts) == 0 {
+		opts.ProcCounts = []int{2, 4, 8, 16}
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.NumCPU()
+	}
+	return &Suite{
+		opts:      opts,
+		traces:    make(map[string]*trace.Trace),
+		sets:      make(map[string]*analysis.Set),
+		sharing:   make(map[string]*analysis.SharingData),
+		coherence: make(map[string]*coherenceEntry),
+	}
+}
+
+// Options returns the suite's configuration.
+func (s *Suite) Options() Options { return s.opts }
+
+// Trace returns the application's (cached) trace.
+func (s *Suite) Trace(app string) (*trace.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceLocked(app)
+}
+
+func (s *Suite) traceLocked(app string) (*trace.Trace, error) {
+	if tr, ok := s.traces[app]; ok {
+		return tr, nil
+	}
+	a, err := workload.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := a.Build(s.opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the lazily computed per-thread totals so the trace is
+	// strictly read-only during concurrent simulation.
+	tr.TotalInstructions()
+	s.traces[app] = tr
+	return tr, nil
+}
+
+// Set returns the application's (cached) static analysis.
+func (s *Suite) Set(app string) (*analysis.Set, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setLocked(app)
+}
+
+func (s *Suite) setLocked(app string) (*analysis.Set, error) {
+	if set, ok := s.sets[app]; ok {
+		return set, nil
+	}
+	tr, err := s.traceLocked(app)
+	if err != nil {
+		return nil, err
+	}
+	set := analysis.Analyze(tr)
+	s.sets[app] = set
+	return set, nil
+}
+
+// Sharing returns the application's (cached) pairwise sharing data.
+func (s *Suite) Sharing(app string) (*analysis.SharingData, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.sharing[app]; ok {
+		return d, nil
+	}
+	set, err := s.setLocked(app)
+	if err != nil {
+		return nil, err
+	}
+	d := set.Sharing()
+	s.sharing[app] = d
+	return d, nil
+}
+
+// Config returns the simulator configuration the paper would use for this
+// application and processor count.
+func (s *Suite) Config(app string, procs int, infinite bool) (sim.Config, error) {
+	a, err := workload.ByName(app)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.DefaultConfig(procs)
+	cfg.CacheSize = a.CacheSize
+	if infinite {
+		// §4.3: "We approximated infinite caches with 8MB caches".
+		cfg.CacheSize = sim.InfiniteCacheSize
+	}
+	return cfg, nil
+}
+
+// randomSeed derives the seed of the RANDOM placement for a given app and
+// processor count: deterministic, but distinct across configurations.
+func (s *Suite) randomSeed(app string, procs int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", app, procs)
+	return s.opts.RandomSeed ^ int64(h.Sum64())
+}
+
+// Place computes the named algorithm's placement for the application.
+func (s *Suite) Place(app, alg string, procs int) (*placement.Placement, error) {
+	d, err := s.Sharing(app)
+	if err != nil {
+		return nil, err
+	}
+	a, err := placement.ByName(alg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Place(d, procs, s.randomSeed(app, procs))
+}
+
+// RunOne simulates one (application, algorithm, processors) cell.
+func (s *Suite) RunOne(app, alg string, procs int, infinite bool) (*sim.Result, error) {
+	pl, err := s.Place(app, alg, procs)
+	if err != nil {
+		return nil, err
+	}
+	return s.runPlacement(app, pl, procs, infinite)
+}
+
+func (s *Suite) runPlacement(app string, pl *placement.Placement, procs int, infinite bool) (*sim.Result, error) {
+	tr, err := s.Trace(app)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := s.Config(app, procs, infinite)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(tr, pl, cfg)
+}
+
+// AlgResult pairs an algorithm name with its simulation result.
+type AlgResult struct {
+	Name   string
+	Result *sim.Result
+}
+
+// RunAlgorithms simulates the named algorithms concurrently and returns
+// results in the same order.
+func (s *Suite) RunAlgorithms(app string, algs []string, procs int, infinite bool) ([]AlgResult, error) {
+	out := make([]AlgResult, len(algs))
+	errs := make([]error, len(algs))
+	sem := make(chan struct{}, s.opts.Parallelism)
+	var wg sync.WaitGroup
+	for i, alg := range algs {
+		wg.Add(1)
+		go func(i int, alg string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := s.RunOne(app, alg, procs, infinite)
+			out[i] = AlgResult{Name: alg, Result: res}
+			errs[i] = err
+		}(i, alg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%s/%dp: %w", app, algs[i], procs, err)
+		}
+	}
+	return out, nil
+}
+
+// CoherenceMeasurement returns the dynamically measured pairwise coherence
+// traffic for the application (§4.2): a simulation with one thread per
+// processor and as many processors as threads, so traffic between
+// processor pairs equals traffic between thread pairs. The result is
+// cached.
+func (s *Suite) CoherenceMeasurement(app string) ([][]uint64, *sim.Result, error) {
+	s.mu.Lock()
+	if e, ok := s.coherence[app]; ok {
+		s.mu.Unlock()
+		return e.matrix, e.result, nil
+	}
+	s.mu.Unlock()
+
+	tr, err := s.Trace(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := tr.NumThreads()
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	pl := &placement.Placement{Algorithm: "ONE-THREAD-PER-PROC", Clusters: clusters}
+	cfg, err := s.Config(app, n, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.Run(tr, pl, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	matrix := res.PairTrafficSym()
+
+	s.mu.Lock()
+	s.coherence[app] = &coherenceEntry{matrix: matrix, result: res}
+	s.mu.Unlock()
+	return matrix, res, nil
+}
+
+// RunCoherencePlacement simulates the dynamic COHERENCE placement (§4.2):
+// clustering by measured pairwise coherence traffic — the best placement a
+// sharing-based algorithm could possibly produce.
+func (s *Suite) RunCoherencePlacement(app string, procs int, infinite bool) (*sim.Result, error) {
+	matrix, _, err := s.CoherenceMeasurement(app)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.Sharing(app)
+	if err != nil {
+		return nil, err
+	}
+	alg := placement.CoherenceTraffic(matrix)
+	pl, err := alg.Place(d, procs, 0)
+	if err != nil {
+		return nil, err
+	}
+	return s.runPlacement(app, pl, procs, infinite)
+}
+
+// SharingAlgorithms returns the names of the six static sharing-based
+// (thread-balanced) algorithms.
+func SharingAlgorithms() []string {
+	return []string{"SHARE-REFS", "SHARE-ADDR", "MIN-PRIV", "MIN-INVS", "MAX-WRITES", "MIN-SHARE"}
+}
+
+// AllAlgorithms returns every static algorithm name in the paper's order.
+func AllAlgorithms() []string { return placement.Names() }

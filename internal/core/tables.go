@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table1Row summarizes one application (paper Table 1).
+type Table1Row struct {
+	App               string
+	Grain             workload.Grain
+	Threads           int
+	TotalInstructions uint64
+	MeanThreadLength  float64
+	TotalRefs         uint64
+	Description       string
+}
+
+// Table1 computes the application-suite summary.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, a := range workload.Apps() {
+		tr, err := s.Trace(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		total := tr.TotalInstructions()
+		rows = append(rows, Table1Row{
+			App:               a.Name,
+			Grain:             a.Grain,
+			Threads:           a.Threads,
+			TotalInstructions: total,
+			MeanThreadLength:  float64(total) / float64(a.Threads),
+			TotalRefs:         tr.TotalRefs(),
+			Description:       a.Description,
+		})
+	}
+	return rows, nil
+}
+
+// Table1Report renders Table 1.
+func Table1Report(rows []Table1Row) *report.Table {
+	t := &report.Table{
+		Title:   "Table 1: The application suite",
+		Note:    "(coarse-grain programs first, then the medium-grain Presto programs)",
+		Columns: []string{"Application", "Grain", "Threads", "Instr (1000s)", "Mean thread len (1000s)", "Refs (1000s)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.App, r.Grain.String(), fmt.Sprint(r.Threads),
+			report.K(float64(r.TotalInstructions)), report.K(r.MeanThreadLength), report.K(float64(r.TotalRefs)))
+	}
+	return t
+}
+
+// Table2 computes the measured characteristics of every application
+// (paper Table 2).
+func (s *Suite) Table2() ([]analysis.Characteristics, error) {
+	var rows []analysis.Characteristics
+	for _, a := range workload.Apps() {
+		set, err := s.Set(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.Sharing(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, set.Characteristics(d))
+	}
+	return rows, nil
+}
+
+// Table2Report renders Table 2 in the paper's Mean/Dev(%) layout.
+func Table2Report(rows []analysis.Characteristics) *report.Table {
+	t := &report.Table{
+		Title: "Table 2: Measured characteristics",
+		Note:  "(pairwise/N-way sharing in 1000s of references; Dev is percent standard deviation)",
+		Columns: []string{"Application", "Pair Mean", "Pair Dev%", "N-way Mean", "N-way Dev%",
+			"Refs/ShAddr", "RSA Dev%", "Shared Refs %", "Thread len (1000s)", "Len Dev%"},
+	}
+	for _, c := range rows {
+		t.AddRow(c.App,
+			report.K(c.Pairwise.Mean), report.F(c.Pairwise.Dev, 1),
+			report.K(c.NWay.Mean), report.F(c.NWay.Dev, 1),
+			report.F(c.RefsPerSharedAddr.Mean, 0), report.F(c.RefsPerSharedAddr.Dev, 1),
+			report.F(c.PctSharedRefs, 1),
+			report.K(c.Length.Mean), report.F(c.Length.Dev, 1))
+	}
+	return t
+}
+
+// Table3Report renders the architectural inputs (paper Table 3).
+func Table3Report() *report.Table {
+	t := &report.Table{
+		Title:   "Table 3: Architectural inputs to the simulator",
+		Columns: []string{"Parameter", "Value"},
+	}
+	t.AddRow("Number of processors", "2, 4, 8, 16 (varied per experiment)")
+	t.AddRow("Hardware contexts per processor", "threads/processors (all threads loaded)")
+	t.AddRow("Context switch policy", "round-robin, switch on cache miss")
+	t.AddRow("Context switch time", fmt.Sprintf("%d cycles (pipeline drain)", sim.DefaultSwitchCycles))
+	t.AddRow("Cache organization", "direct-mapped, write-back")
+	t.AddRow("Cache size", "32 KB or 64 KB per application (8 MB for infinite-cache runs)")
+	t.AddRow("Cache line size", fmt.Sprintf("%d bytes", sim.DefaultLineSize))
+	t.AddRow("Cache hit time", fmt.Sprintf("%d cycle", sim.DefaultHitCycles))
+	t.AddRow("Memory latency", fmt.Sprintf("%d cycles (multipath network, no contention)", sim.DefaultMemLatency))
+	t.AddRow("Coherence", "distributed directory, MSI invalidate")
+	return t
+}
+
+// Table4Row compares statically counted sharing against dynamically
+// measured coherence traffic for one application (paper Table 4).
+type Table4Row struct {
+	App   string
+	Grain workload.Grain
+	// StaticPairwiseMean is the mean statically-counted shared
+	// references between thread pairs.
+	StaticPairwiseMean float64
+	// DynamicPairwiseMean is the mean measured coherence traffic
+	// (invalidations, invalidation misses, dirty fetches) between thread
+	// pairs, from a one-thread-per-processor simulation.
+	DynamicPairwiseMean float64
+	// StaticPctOfRefs is statically-counted pairwise shared references
+	// relative to total references (percent).
+	StaticPctOfRefs float64
+	// DynamicPctOfRefs is measured compulsory misses plus coherence
+	// traffic relative to total references (percent). At this trace
+	// scale it is dominated by compulsory misses, which do not amortize
+	// over short threads; see InvalidationPctOfRefs for the
+	// scale-insensitive coherence-only view.
+	DynamicPctOfRefs float64
+	// InvalidationPctOfRefs is invalidations plus invalidation misses
+	// relative to total references (percent) — pure coherence traffic,
+	// free of the compulsory-miss scale artifact.
+	InvalidationPctOfRefs float64
+	// OrdersOfMagnitude is log10(static/dynamic) for the pairwise means.
+	OrdersOfMagnitude float64
+}
+
+// Table4 runs the one-thread-per-processor measurement for every
+// application and compares static and dynamic sharing.
+func (s *Suite) Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, a := range workload.Apps() {
+		d, err := s.Sharing(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		matrix, res, err := s.CoherenceMeasurement(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		n := d.NumThreads()
+		var static, dynamic float64
+		pairs := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				static += float64(d.SharedRefs[i][j])
+				dynamic += float64(matrix[i][j])
+				pairs++
+			}
+		}
+		static /= float64(pairs)
+		dynamic /= float64(pairs)
+
+		tot := res.Totals()
+		row := Table4Row{
+			App:                   a.Name,
+			Grain:                 a.Grain,
+			StaticPairwiseMean:    static,
+			DynamicPairwiseMean:   dynamic,
+			StaticPctOfRefs:       static / float64(tot.Refs) * 100,
+			DynamicPctOfRefs:      float64(res.CoherenceTraffic()) / float64(tot.Refs) * 100,
+			InvalidationPctOfRefs: float64(tot.InvalidationsSent+tot.Misses[sim.InvalidationMiss]) / float64(tot.Refs) * 100,
+		}
+		if dynamic > 0 {
+			row.OrdersOfMagnitude = log10(static / dynamic)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table4Report renders Table 4.
+func Table4Report(rows []Table4Row) *report.Table {
+	t := &report.Table{
+		Title: "Table 4: Statically counted sharing vs dynamically measured coherence traffic",
+		Note:  "(dynamic = one thread per processor; traffic = invalidations + invalidation misses + dirty fetches)",
+		Columns: []string{"Application", "Static pair mean", "Dynamic pair mean", "Static/Dynamic (10^x)",
+			"Static % of refs", "Dyn+compulsory % of refs", "Invalidation % of refs"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.App,
+			report.F(r.StaticPairwiseMean, 0), report.F(r.DynamicPairwiseMean, 1),
+			report.F(r.OrdersOfMagnitude, 1),
+			report.F(r.StaticPctOfRefs, 2), report.F(r.DynamicPctOfRefs, 2),
+			report.F(r.InvalidationPctOfRefs, 2))
+	}
+	return t
+}
+
+// Table5Apps are the six applications of §4.3: from each grain group, the
+// three with the least uniform measured sharing (the paper names Water,
+// LocusRoute ("Locus"), Pverify, Grav, FFT and Health).
+func Table5Apps() []string {
+	return []string{"Water", "LocusRoute", "Pverify", "Grav", "FFT", "Health"}
+}
+
+// Table5Cell is one (application, processors) measurement of Table 5.
+type Table5Cell struct {
+	App   string
+	Procs int
+	// BestStatic names the best static sharing-based algorithm for the
+	// cell and BestStaticNorm its execution time normalized to LOAD-BAL.
+	BestStatic     string
+	BestStaticNorm float64
+	// CoherenceNorm is the dynamic coherence-traffic algorithm's
+	// execution time normalized to LOAD-BAL.
+	CoherenceNorm float64
+}
+
+// Table5 runs the infinite-cache (8 MB) comparison of §4.3.
+func (s *Suite) Table5() ([]Table5Cell, error) {
+	var cells []Table5Cell
+	for _, app := range Table5Apps() {
+		for _, procs := range s.opts.ProcCounts {
+			lb, err := s.RunOne(app, "LOAD-BAL", procs, true)
+			if err != nil {
+				return nil, err
+			}
+			results, err := s.RunAlgorithms(app, SharingAlgorithms(), procs, true)
+			if err != nil {
+				return nil, err
+			}
+			best := results[0]
+			for _, r := range results[1:] {
+				if r.Result.ExecTime < best.Result.ExecTime {
+					best = r
+				}
+			}
+			coh, err := s.RunCoherencePlacement(app, procs, true)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, Table5Cell{
+				App:            app,
+				Procs:          procs,
+				BestStatic:     best.Name,
+				BestStaticNorm: float64(best.Result.ExecTime) / float64(lb.ExecTime),
+				CoherenceNorm:  float64(coh.ExecTime) / float64(lb.ExecTime),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Table5Report renders Table 5 with one row per application and one column
+// pair per processor count.
+func Table5Report(cells []Table5Cell, procCounts []int) *report.Table {
+	cols := []string{"Application"}
+	for _, p := range procCounts {
+		cols = append(cols, fmt.Sprintf("%dp best-static", p), fmt.Sprintf("%dp coherence", p))
+	}
+	t := &report.Table{
+		Title:   "Table 5: Execution times normalized to LOAD-BAL with an 8 MB cache (no conflict misses)",
+		Note:    "(best static sharing-based algorithm and the measured-coherence-traffic algorithm)",
+		Columns: cols,
+	}
+	byApp := make(map[string]map[int]Table5Cell)
+	var apps []string
+	for _, c := range cells {
+		if byApp[c.App] == nil {
+			byApp[c.App] = make(map[int]Table5Cell)
+			apps = append(apps, c.App)
+		}
+		byApp[c.App][c.Procs] = c
+	}
+	sort.SliceStable(apps, func(i, j int) bool {
+		return appOrder(apps[i]) < appOrder(apps[j])
+	})
+	for _, app := range apps {
+		row := []string{app}
+		for _, p := range procCounts {
+			c := byApp[app][p]
+			row = append(row, report.F(c.BestStaticNorm, 2), report.F(c.CoherenceNorm, 2))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// appOrder gives the paper's Table 5 ordering.
+func appOrder(app string) int {
+	for i, a := range Table5Apps() {
+		if a == app {
+			return i
+		}
+	}
+	return len(Table5Apps())
+}
+
+// log10 is math.Log10 guarded against non-positive arguments.
+func log10(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log10(x)
+}

@@ -1,0 +1,101 @@
+// Package model implements analytical processor-efficiency models for
+// multithreaded processors, after the related work the paper discusses in
+// §5 (Weber & Gupta's saturation analysis, Agarwal's and
+// Saavedra-Barrera's models): given the mean useful run length between
+// misses, the memory latency and the context switch cost, predict
+// processor efficiency as a function of the number of hardware contexts.
+//
+// Two models are provided: the deterministic two-regime bound (linear
+// ramp until the latency is fully hidden, then saturation at R/(R+C)) and
+// a machine-repairman queueing model solved by exact mean-value analysis
+// (each context cycles between an exponential compute-and-switch station
+// and a pure-delay memory station). The ablation experiments compare both
+// against the simulator's measured efficiency.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine carries the three parameters of the analytical models, all in
+// cycles.
+type Machine struct {
+	// RunLength R is the mean useful execution between blocking memory
+	// transactions.
+	RunLength float64
+	// Latency L is the memory transaction latency.
+	Latency float64
+	// SwitchCost C is the pipeline-drain cost of a context switch.
+	SwitchCost float64
+}
+
+// Validate reports the first parameter problem.
+func (m Machine) Validate() error {
+	if m.RunLength <= 0 {
+		return fmt.Errorf("model: run length must be positive, got %v", m.RunLength)
+	}
+	if m.Latency < 0 || m.SwitchCost < 0 {
+		return fmt.Errorf("model: negative latency or switch cost")
+	}
+	return nil
+}
+
+// Saturation returns the efficiency ceiling R/(R+C): with unlimited
+// contexts every latency cycle is hidden and only switch overhead remains.
+func (m Machine) Saturation() float64 {
+	return m.RunLength / (m.RunLength + m.SwitchCost)
+}
+
+// SaturationContexts returns the context count at which the deterministic
+// model saturates: N* = (R + C + L) / (R + C).
+func (m Machine) SaturationContexts() float64 {
+	return (m.RunLength + m.SwitchCost + m.Latency) / (m.RunLength + m.SwitchCost)
+}
+
+// EfficiencyDeterministic returns the two-regime deterministic model
+// (Weber & Gupta): with n contexts of deterministic run length R, the
+// processor is busy n·R out of every R+C+L cycles until the other n-1
+// contexts fully cover the latency, after which only switches are lost.
+func (m Machine) EfficiencyDeterministic(contexts int) float64 {
+	if contexts <= 0 {
+		return 0
+	}
+	linear := float64(contexts) * m.RunLength / (m.RunLength + m.SwitchCost + m.Latency)
+	if sat := m.Saturation(); linear > sat {
+		return sat
+	}
+	return linear
+}
+
+// EfficiencyMVA returns the machine-repairman model solved by exact
+// mean-value analysis: a closed network of n customers (contexts) cycling
+// between a single-server queueing station with mean service R+C (compute
+// then drain) and an infinite-server delay station with mean service L
+// (the memory system — the paper's multipath network has no contention).
+// Efficiency is the throughput times the useful service R.
+func (m Machine) EfficiencyMVA(contexts int) float64 {
+	if contexts <= 0 {
+		return 0
+	}
+	service := m.RunLength + m.SwitchCost
+	qCPU := 0.0 // mean CPU-station queue length with n-1 customers
+	var x float64
+	for n := 1; n <= contexts; n++ {
+		rCPU := service * (1 + qCPU)
+		cycle := rCPU + m.Latency
+		x = float64(n) / cycle
+		qCPU = x * rCPU
+	}
+	// Mathematically x*R <= R/(R+C); clamp the floating-point residue.
+	return math.Min(x*m.RunLength, m.Saturation())
+}
+
+// Curve evaluates a model function for 1..maxContexts.
+func Curve(f func(int) float64, maxContexts int) []float64 {
+	out := make([]float64, maxContexts)
+	for n := 1; n <= maxContexts; n++ {
+		out[n-1] = f(n)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestValidate(t *testing.T) {
+	if err := (Machine{RunLength: 10, Latency: 50, SwitchCost: 6}).Validate(); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+	if err := (Machine{RunLength: 0, Latency: 50}).Validate(); err == nil {
+		t.Error("zero run length accepted")
+	}
+	if err := (Machine{RunLength: 1, Latency: -1}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestSingleContextLimits(t *testing.T) {
+	m := Machine{RunLength: 10, Latency: 50, SwitchCost: 6}
+	// One context: busy R out of every R+C+L cycles, in both models.
+	want := 10.0 / 66.0
+	if got := m.EfficiencyDeterministic(1); !almost(got, want) {
+		t.Errorf("deterministic E(1) = %v, want %v", got, want)
+	}
+	if got := m.EfficiencyMVA(1); !almost(got, want) {
+		t.Errorf("MVA E(1) = %v, want %v", got, want)
+	}
+}
+
+func TestSaturationLimit(t *testing.T) {
+	m := Machine{RunLength: 10, Latency: 50, SwitchCost: 6}
+	sat := m.Saturation()
+	if !almost(sat, 10.0/16.0) {
+		t.Errorf("saturation = %v, want 0.625", sat)
+	}
+	if got := m.EfficiencyDeterministic(100); !almost(got, sat) {
+		t.Errorf("deterministic E(100) = %v, want saturation %v", got, sat)
+	}
+	// MVA approaches but never exceeds saturation.
+	if got := m.EfficiencyMVA(200); got > sat || got < 0.99*sat {
+		t.Errorf("MVA E(200) = %v, want just below %v", got, sat)
+	}
+}
+
+func TestSaturationContexts(t *testing.T) {
+	m := Machine{RunLength: 10, Latency: 50, SwitchCost: 6}
+	if got := m.SaturationContexts(); !almost(got, 66.0/16.0) {
+		t.Errorf("N* = %v, want 4.125", got)
+	}
+	// At ceil(N*) the deterministic model is saturated.
+	if got := m.EfficiencyDeterministic(5); !almost(got, m.Saturation()) {
+		t.Errorf("E(5) = %v, want saturation", got)
+	}
+	// Just below, it is not.
+	if got := m.EfficiencyDeterministic(4); got >= m.Saturation() {
+		t.Errorf("E(4) = %v, want below saturation", got)
+	}
+}
+
+// Properties: efficiency is in (0, 1], non-decreasing in contexts, and
+// the deterministic model dominates MVA (deterministic run lengths hide
+// latency at least as well as variable ones).
+func TestModelProperties(t *testing.T) {
+	f := func(r, l, c uint8, n uint8) bool {
+		m := Machine{
+			RunLength:  1 + float64(r%50),
+			Latency:    float64(l % 200),
+			SwitchCost: float64(c % 20),
+		}
+		contexts := 1 + int(n%32)
+		det := m.EfficiencyDeterministic(contexts)
+		mva := m.EfficiencyMVA(contexts)
+		if det <= 0 || det > 1 || mva <= 0 || mva > 1 {
+			return false
+		}
+		if mva > det+1e-9 {
+			return false
+		}
+		if m.EfficiencyDeterministic(contexts+1) < det-1e-9 {
+			return false
+		}
+		if m.EfficiencyMVA(contexts+1) < mva-1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroLatency(t *testing.T) {
+	// With no latency there is nothing to hide: one context already
+	// achieves saturation.
+	m := Machine{RunLength: 10, Latency: 0, SwitchCost: 5}
+	if got := m.EfficiencyDeterministic(1); !almost(got, m.Saturation()) {
+		t.Errorf("deterministic E(1) = %v, want %v", got, m.Saturation())
+	}
+	if got := m.EfficiencyMVA(1); !almost(got, m.Saturation()) {
+		t.Errorf("MVA E(1) = %v, want %v", got, m.Saturation())
+	}
+}
+
+func TestZeroContexts(t *testing.T) {
+	m := Machine{RunLength: 10, Latency: 50, SwitchCost: 6}
+	if m.EfficiencyDeterministic(0) != 0 || m.EfficiencyMVA(0) != 0 {
+		t.Error("zero contexts should give zero efficiency")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	m := Machine{RunLength: 10, Latency: 50, SwitchCost: 6}
+	c := Curve(m.EfficiencyMVA, 8)
+	if len(c) != 8 {
+		t.Fatalf("curve length %d", len(c))
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] < c[i-1] {
+			t.Errorf("curve not monotone at %d: %v", i, c)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+)
+
+// Optimal exhaustive placement for small thread counts: a branch-and-bound
+// search over all thread-balanced partitions that maximizes within-cluster
+// shared references. Exponential — usable to roughly 16 threads — and
+// intended as a quality oracle: tests compare the greedy SHARE-REFS
+// clustering against the true optimum, and research users can bound how
+// much better *any* static sharing-based placement could possibly do.
+
+// optimalMaxThreads bounds the search; beyond this the state space is
+// infeasible.
+const optimalMaxThreads = 18
+
+// OptimalShare computes the thread-balanced placement maximizing total
+// within-cluster shared references, by exhaustive branch-and-bound.
+func OptimalShare(d *analysis.SharingData, p int) (*Placement, error) {
+	t := d.NumThreads()
+	if err := checkCounts(t, p); err != nil {
+		return nil, fmt.Errorf("OPT-SHARE: %w", err)
+	}
+	if t > optimalMaxThreads {
+		return nil, fmt.Errorf("OPT-SHARE: %d threads exceeds the exhaustive-search limit (%d)", t, optimalMaxThreads)
+	}
+
+	floor, r := t/p, t%p
+	sizes := make([]int, p)
+	for i := range sizes {
+		sizes[i] = floor
+		if i < r {
+			sizes[i]++
+		}
+	}
+
+	assign := make([]int, t)
+	for i := range assign {
+		assign[i] = -1
+	}
+	best := make([]int, t)
+	bestScore := -1.0
+	used := make([]int, p)
+
+	// maxGain[i] is an admissible upper bound on the score obtainable
+	// from threads i..t-1: the sum of each remaining thread's largest
+	// pairwise sharing values (it over-counts, which is safe).
+	maxGain := make([]float64, t+1)
+	for i := t - 1; i >= 0; i-- {
+		var m float64
+		for j := 0; j < t; j++ {
+			if j != i {
+				m += float64(d.SharedRefs[i][j])
+			}
+		}
+		maxGain[i] = maxGain[i+1] + m
+	}
+
+	var dfs func(i int, score float64)
+	dfs = func(i int, score float64) {
+		if i == t {
+			if score > bestScore {
+				bestScore = score
+				copy(best, assign)
+			}
+			return
+		}
+		if score+maxGain[i] <= bestScore {
+			return // even the optimistic bound cannot beat the best
+		}
+		triedEmpty := make(map[int]bool, 2)
+		for q := 0; q < p; q++ {
+			if used[q] == sizes[q] {
+				continue
+			}
+			// Symmetry pruning: among still-empty clusters of the same
+			// target size, trying one is enough.
+			if used[q] == 0 {
+				if triedEmpty[sizes[q]] {
+					continue
+				}
+				triedEmpty[sizes[q]] = true
+			}
+			gain := 0.0
+			for o := 0; o < i; o++ {
+				if assign[o] == q {
+					gain += float64(d.SharedRefs[i][o])
+				}
+			}
+			assign[i] = q
+			used[q]++
+			dfs(i+1, score+gain)
+			used[q]--
+			assign[i] = -1
+		}
+	}
+	dfs(0, 0)
+
+	clusters := make([][]int, p)
+	for i, q := range best {
+		clusters[q] = append(clusters[q], i)
+	}
+	pl := &Placement{Algorithm: "OPT-SHARE", Clusters: clusters}
+	pl.normalize()
+	return pl, nil
+}
+
+// WithinClusterSharedRefs returns the total shared references between
+// co-located thread pairs — the objective OptimalShare maximizes and
+// SHARE-REFS approximates.
+func WithinClusterSharedRefs(d *analysis.SharingData, pl *Placement) uint64 {
+	var total uint64
+	for _, c := range pl.Clusters {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				total += d.SharedRefs[c[i]][c[j]]
+			}
+		}
+	}
+	return total
+}
+
+// GreedyQuality returns SHARE-REFS' within-cluster sharing as a fraction
+// of the optimum, for suites small enough to solve exactly. Returns 1 when
+// the optimum is zero.
+func GreedyQuality(d *analysis.SharingData, p int) (float64, error) {
+	greedy, err := Cluster(d, p, shareRefs{}, ThreadBalance, 0)
+	if err != nil {
+		return 0, err
+	}
+	opt, err := OptimalShare(d, p)
+	if err != nil {
+		return 0, err
+	}
+	o := WithinClusterSharedRefs(d, opt)
+	if o == 0 {
+		return 1, nil
+	}
+	g := WithinClusterSharedRefs(d, greedy)
+	return math.Min(1, float64(g)/float64(o)), nil
+}

@@ -1,0 +1,96 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalShareExactOnKnownCase(t *testing.T) {
+	// Two tight pairs: the optimum co-locates them (score 200).
+	m := symmetric(4, map[[2]int]uint64{
+		{0, 1}: 100,
+		{2, 3}: 100,
+		{0, 2}: 30,
+		{1, 3}: 30,
+	})
+	d := dataFromMatrix(m)
+	opt, err := OptimalShare(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Validate(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := WithinClusterSharedRefs(d, opt); got != 200 {
+		t.Errorf("optimal score = %d, want 200 (%v)", got, opt.Clusters)
+	}
+}
+
+func TestOptimalDominatesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		n := 6 + rng.Intn(6)
+		p := 2 + rng.Intn(2)
+		pairs := make(map[[2]int]uint64)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pairs[[2]int{i, j}] = uint64(rng.Intn(100))
+			}
+		}
+		d := dataFromMatrix(symmetric(n, pairs))
+		opt, err := OptimalShare(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := Cluster(d, p, shareRefs{}, ThreadBalance, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.ThreadBalanced() {
+			t.Fatalf("trial %d: optimum not thread balanced: %v", trial, opt.Clusters)
+		}
+		o := WithinClusterSharedRefs(d, opt)
+		g := WithinClusterSharedRefs(d, greedy)
+		if g > o {
+			t.Fatalf("trial %d: greedy (%d) beats 'optimal' (%d) — search is wrong", trial, g, o)
+		}
+	}
+}
+
+func TestGreedyQualityIsHigh(t *testing.T) {
+	// The paper's greedy clustering should land near the optimum on
+	// random instances; quantify it.
+	rng := rand.New(rand.NewSource(23))
+	var worst = 1.0
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + rng.Intn(5)
+		pairs := make(map[[2]int]uint64)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pairs[[2]int{i, j}] = uint64(rng.Intn(50))
+			}
+		}
+		d := dataFromMatrix(symmetric(n, pairs))
+		q, err := GreedyQuality(d, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < worst {
+			worst = q
+		}
+	}
+	if worst < 0.75 {
+		t.Errorf("greedy quality dropped to %.2f of optimal — clustering regression?", worst)
+	}
+}
+
+func TestOptimalShareErrors(t *testing.T) {
+	d := dataFromMatrix(symmetric(30, nil))
+	if _, err := OptimalShare(d, 4); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	small := dataFromMatrix(symmetric(3, nil))
+	if _, err := OptimalShare(small, 5); err == nil {
+		t.Error("p > t accepted")
+	}
+}

@@ -1,0 +1,415 @@
+package placement
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+)
+
+// dataFromMatrix builds SharingData with the given symmetric shared-refs
+// matrix and uniform auxiliary data.
+func dataFromMatrix(m [][]uint64) *analysis.SharingData {
+	n := len(m)
+	d := &analysis.SharingData{
+		App:              "test",
+		SharedRefs:       m,
+		SharedAddrs:      make([][]uint64, n),
+		WriteSharedRefs:  make([][]uint64, n),
+		InvalidatingRefs: make([][]uint64, n),
+		PrivateAddrs:     make([]int, n),
+		Lengths:          make([]uint64, n),
+	}
+	for i := range d.SharedAddrs {
+		d.SharedAddrs[i] = make([]uint64, n)
+		d.WriteSharedRefs[i] = make([]uint64, n)
+		d.InvalidatingRefs[i] = make([]uint64, n)
+		d.Lengths[i] = 1000
+		for j := range d.SharedAddrs[i] {
+			if m[i][j] > 0 {
+				d.SharedAddrs[i][j] = 1
+			}
+		}
+	}
+	return d
+}
+
+func symmetric(n int, pairs map[[2]int]uint64) [][]uint64 {
+	m := make([][]uint64, n)
+	for i := range m {
+		m[i] = make([]uint64, n)
+	}
+	for k, v := range pairs {
+		m[k[0]][k[1]] = v
+		m[k[1]][k[0]] = v
+	}
+	return m
+}
+
+// TestPaperWorkedExample reproduces the §2.1.1 example: five threads, two
+// processors. Thread 2-3 combine first (highest pairwise sharing), then
+// 1-5, then {1,5} with {4}, yielding clusters {2,3} and {1,4,5}.
+// Threads here are 0-indexed: paper thread k is index k-1.
+func TestPaperWorkedExample(t *testing.T) {
+	m := symmetric(5, map[[2]int]uint64{
+		{0, 1}: 1,  // s(1,2)
+		{0, 2}: 2,  // s(1,3)
+		{0, 3}: 6,  // s(1,4)
+		{0, 4}: 8,  // s(1,5)
+		{1, 2}: 10, // s(2,3) -- highest
+		{1, 3}: 5,  // s(2,4)
+		{1, 4}: 2,  // s(2,5)
+		{2, 3}: 4,  // s(3,4)
+		{2, 4}: 1,  // s(3,5)
+		{3, 4}: 5,  // s(4,5)
+	})
+	d := dataFromMatrix(m)
+
+	// The worked metric value from the paper: sharing-metric({2,3},{4})
+	// = (5+4)/2 = 4.5.
+	if got := avgPairwise(m, []int{1, 2}, []int{3}); got != 4.5 {
+		t.Fatalf("sharing-metric({2,3},{4}) = %v, want 4.5", got)
+	}
+
+	pl, err := Cluster(d, 2, shareRefs{}, ThreadBalance, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 3, 4}, {1, 2}}
+	if !reflect.DeepEqual(pl.Clusters, want) {
+		t.Errorf("clusters = %v, want %v", pl.Clusters, want)
+	}
+}
+
+func TestThreadBalanceExact(t *testing.T) {
+	for _, tc := range []struct{ threads, procs int }{
+		{4, 2}, {5, 2}, {7, 3}, {8, 8}, {9, 4}, {16, 16}, {17, 4}, {32, 16},
+	} {
+		d := dataFromMatrix(symmetric(tc.threads, nil))
+		pl, err := Cluster(d, tc.procs, shareRefs{}, ThreadBalance, 0)
+		if err != nil {
+			t.Fatalf("%d/%d: %v", tc.threads, tc.procs, err)
+		}
+		if err := pl.Validate(tc.threads, tc.procs); err != nil {
+			t.Errorf("%d/%d: %v", tc.threads, tc.procs, err)
+		}
+		if !pl.ThreadBalanced() {
+			t.Errorf("%d/%d: not thread balanced: %v", tc.threads, tc.procs, pl.Clusters)
+		}
+	}
+}
+
+// Property: every sharing algorithm produces a valid, thread-balanced (or
+// load-respecting) partition for random sharing matrices.
+func TestAllAlgorithmsValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(12)
+		p := 2 + r.Intn(3)
+		if p > n {
+			p = n
+		}
+		pairs := make(map[[2]int]uint64)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pairs[[2]int{i, j}] = uint64(r.Intn(100))
+			}
+		}
+		d := dataFromMatrix(symmetric(n, pairs))
+		for i := range d.Lengths {
+			d.Lengths[i] = uint64(100 + r.Intn(2000))
+			d.PrivateAddrs[i] = r.Intn(500)
+		}
+		for _, alg := range All() {
+			pl, err := alg.Place(d, p, seed)
+			if err != nil {
+				t.Logf("%s: %v", alg.Name, err)
+				return false
+			}
+			if err := pl.Validate(n, p); err != nil {
+				t.Logf("%v", err)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShareRefsMaximizesAndMinShareMinimizes(t *testing.T) {
+	// Two tight pairs: (0,1) and (2,3) share heavily; everything else is
+	// light. SHARE-REFS must co-locate the pairs; MIN-SHARE must split
+	// them.
+	m := symmetric(4, map[[2]int]uint64{
+		{0, 1}: 100,
+		{2, 3}: 100,
+		{0, 2}: 1,
+		{1, 3}: 1,
+	})
+	d := dataFromMatrix(m)
+
+	pl, err := Cluster(d, 2, shareRefs{}, ThreadBalance, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {2, 3}}
+	if !reflect.DeepEqual(pl.Clusters, want) {
+		t.Errorf("SHARE-REFS clusters = %v, want %v", pl.Clusters, want)
+	}
+
+	pl, err = Cluster(d, 2, minShare{}, ThreadBalance, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pl.Clusters {
+		if reflect.DeepEqual(c, []int{0, 1}) || reflect.DeepEqual(c, []int{2, 3}) {
+			t.Errorf("MIN-SHARE co-located a heavy pair: %v", pl.Clusters)
+		}
+	}
+}
+
+func TestMaxWritesUsesWriteSharedOnly(t *testing.T) {
+	// (0,1) share many read-only refs; (0,2) share fewer but write-shared
+	// refs. MAX-WRITES must prefer (0,2).
+	d := dataFromMatrix(symmetric(4, map[[2]int]uint64{
+		{0, 1}: 100,
+		{0, 2}: 50,
+	}))
+	d.WriteSharedRefs = symmetric(4, map[[2]int]uint64{
+		{0, 2}: 50,
+	})
+	pl, err := Cluster(d, 2, maxWrites{}, ThreadBalance, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pl.Assignment()
+	if a[0] != a[2] {
+		t.Errorf("MAX-WRITES split the write-sharing pair: %v", pl.Clusters)
+	}
+}
+
+func TestMinPrivTieBreak(t *testing.T) {
+	// All sharing equal; thread 3 has a huge private footprint. MIN-PRIV
+	// combines the low-private threads first.
+	pairs := make(map[[2]int]uint64)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			pairs[[2]int{i, j}] = 10
+		}
+	}
+	d := dataFromMatrix(symmetric(4, pairs))
+	d.PrivateAddrs = []int{1, 1, 1, 10000}
+	pl, err := Cluster(d, 2, minPriv{}, ThreadBalance, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pl.Assignment()
+	if a[0] != a[1] {
+		t.Errorf("MIN-PRIV should combine the two cheapest-private threads first: %v", pl.Clusters)
+	}
+}
+
+func TestLoadBalLPT(t *testing.T) {
+	d := dataFromMatrix(symmetric(5, nil))
+	d.Lengths = []uint64{1000, 900, 300, 200, 100}
+	pl, err := LoadBal(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	loads := pl.Loads(d.Lengths)
+	// LPT: 1000 -> p0; 900 -> p1; 300 -> p1 (1200); 200 -> p0 (1200);
+	// 100 -> either (1300/1200). Max must be 1300.
+	var max uint64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	if max != 1300 {
+		t.Errorf("max load = %d, want 1300 (loads %v)", max, loads)
+	}
+}
+
+func TestLoadBalBeatsWorstCase(t *testing.T) {
+	// Skewed lengths: LOAD-BAL imbalance should be far below a
+	// deliberately bad contiguous split.
+	rng := rand.New(rand.NewSource(3))
+	n := 16
+	d := dataFromMatrix(symmetric(n, nil))
+	for i := range d.Lengths {
+		d.Lengths[i] = uint64(100 + rng.Intn(10000))
+	}
+	pl, err := LoadBal(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := pl.LoadImbalance(d.Lengths); imb > 0.05 {
+		t.Errorf("LOAD-BAL imbalance = %v, want <= 0.05", imb)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	d := dataFromMatrix(symmetric(10, nil))
+	a, err := Random(d, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(d, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Clusters, b.Clusters) {
+		t.Error("RANDOM not deterministic for fixed seed")
+	}
+	c, err := Random(d, 3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ThreadBalanced() {
+		t.Error("RANDOM not thread balanced")
+	}
+}
+
+func TestLBVariantRespectsSlackWhenPossible(t *testing.T) {
+	// Uniform lengths: +LB must stay within slack of ideal.
+	n := 12
+	pairs := make(map[[2]int]uint64)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs[[2]int{i, j}] = uint64(rng.Intn(50))
+		}
+	}
+	d := dataFromMatrix(symmetric(n, pairs))
+	pl, err := Cluster(d, 4, shareRefs{}, LoadBalance, DefaultLoadSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(n, 4); err != nil {
+		t.Fatal(err)
+	}
+	if imb := pl.LoadImbalance(d.Lengths); imb > DefaultLoadSlack+1e-9 {
+		t.Errorf("+LB imbalance = %v exceeds slack", imb)
+	}
+}
+
+func TestLBVariantFallsBackWhenImpossible(t *testing.T) {
+	// One thread dominates: no placement keeps max load within 10% of
+	// ideal, but the algorithm must still terminate with p clusters.
+	d := dataFromMatrix(symmetric(6, nil))
+	d.Lengths = []uint64{100000, 10, 10, 10, 10, 10}
+	pl, err := Cluster(d, 3, shareRefs{}, LoadBalance, DefaultLoadSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(6, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	d := dataFromMatrix(symmetric(3, nil))
+	if _, err := Cluster(d, 5, shareRefs{}, ThreadBalance, 0); err == nil {
+		t.Error("more processors than threads accepted")
+	}
+	if _, err := Cluster(d, 0, shareRefs{}, ThreadBalance, 0); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := LoadBal(d, 4); err == nil {
+		t.Error("LOAD-BAL with p > t accepted")
+	}
+	if _, err := Random(d, -1, 0); err == nil {
+		t.Error("negative processors accepted")
+	}
+	if _, err := ByName("NOT-AN-ALGORITHM"); err == nil {
+		t.Error("unknown algorithm name accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{
+		"SHARE-REFS", "SHARE-ADDR", "MIN-PRIV", "MIN-INVS", "MAX-WRITES",
+		"MIN-SHARE", "LOAD-BAL",
+		"SHARE-REFS+LB", "SHARE-ADDR+LB", "MIN-PRIV+LB", "MIN-INVS+LB",
+		"MAX-WRITES+LB", "MIN-SHARE+LB", "RANDOM",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("names = %v, want %v", names, want)
+	}
+	for _, name := range want {
+		a, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if a.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, a.Name)
+		}
+	}
+	if a, _ := ByName("LOAD-BAL"); a.SharingBased {
+		t.Error("LOAD-BAL marked sharing-based")
+	}
+	if a, _ := ByName("SHARE-REFS"); !a.SharingBased {
+		t.Error("SHARE-REFS not marked sharing-based")
+	}
+}
+
+func TestCoherenceTrafficAlgorithm(t *testing.T) {
+	traffic := symmetric(4, map[[2]int]uint64{
+		{0, 3}: 500,
+		{1, 2}: 400,
+	})
+	d := dataFromMatrix(symmetric(4, nil))
+	alg := CoherenceTraffic(traffic)
+	pl, err := alg.Place(d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pl.Assignment()
+	if a[0] != a[3] || a[1] != a[2] {
+		t.Errorf("COHERENCE did not co-locate high-traffic pairs: %v", pl.Clusters)
+	}
+}
+
+func TestAssignmentAndString(t *testing.T) {
+	pl := &Placement{Algorithm: "X", Clusters: [][]int{{0, 2}, {1}}}
+	a := pl.Assignment()
+	if a[0] != 0 || a[2] != 0 || a[1] != 1 {
+		t.Errorf("assignment = %v", a)
+	}
+	if s := pl.String(); s != "X{[0 2][1]}" {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func TestBacktrackingReachesBalance(t *testing.T) {
+	// Adversarial metric: greedy scores strongly favour merging into one
+	// oversized chain; the DFS must still find a balanced 2-way split of
+	// 6 threads (sizes 3+3) rather than getting stuck at 4+1+1.
+	m := symmetric(6, map[[2]int]uint64{
+		{0, 1}: 100, {1, 2}: 90, {2, 3}: 80, {3, 4}: 70, {4, 5}: 60,
+	})
+	d := dataFromMatrix(m)
+	pl, err := Cluster(d, 2, shareRefs{}, ThreadBalance, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.ThreadBalanced() {
+		t.Errorf("not balanced: %v", pl.Clusters)
+	}
+}

@@ -1,0 +1,128 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKLShareReducesCrossSharing(t *testing.T) {
+	// Ring sharing: thread i shares heavily with i+1. LOAD-BAL (uniform
+	// lengths -> arbitrary grouping) generally cuts many ring edges;
+	// KL-SHARE must cut no more than LOAD-BAL and produce a valid,
+	// load-respecting placement.
+	n := 16
+	pairs := make(map[[2]int]uint64)
+	for i := 0; i < n; i++ {
+		pairs[[2]int{i, (i + 1) % n}] = 100
+	}
+	d := dataFromMatrix(symmetric(n, pairs))
+
+	lb, err := LoadBal(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl, err := KLShare(d, 4, DefaultLoadSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kl.Validate(n, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got, base := CrossSharedRefs(d, kl), CrossSharedRefs(d, lb); got > base {
+		t.Errorf("KL-SHARE cross sharing %d worse than LOAD-BAL's %d", got, base)
+	}
+	// A ring over 4 processors cannot do better than 4 cut edges; KL
+	// should find a contiguous-arc solution (400) from most starts.
+	if got := CrossSharedRefs(d, kl); got > 600 {
+		t.Errorf("KL-SHARE cross sharing = %d, want near the 400 optimum", got)
+	}
+	if imb := kl.LoadImbalance(d.Lengths); imb > DefaultLoadSlack+1e-9 {
+		t.Errorf("KL-SHARE violates load slack: %v", imb)
+	}
+}
+
+func TestKLShareRespectsLoadWithSkew(t *testing.T) {
+	n := 12
+	pairs := make(map[[2]int]uint64)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs[[2]int{i, j}] = uint64(rng.Intn(50))
+		}
+	}
+	d := dataFromMatrix(symmetric(n, pairs))
+	for i := range d.Lengths {
+		d.Lengths[i] = uint64(100 + rng.Intn(5000))
+	}
+	lb, err := LoadBal(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl, err := KLShare(d, 3, DefaultLoadSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kl.Validate(n, 3); err != nil {
+		t.Fatal(err)
+	}
+	// KL must not be much worse balanced than LOAD-BAL + slack.
+	lbMax := maxLoad(lb.Loads(d.Lengths))
+	klMax := maxLoad(kl.Loads(d.Lengths))
+	var total uint64
+	for _, l := range d.Lengths {
+		total += l
+	}
+	limit := float64(total) / 3 * (1 + DefaultLoadSlack)
+	if float64(klMax) > limit && klMax > lbMax {
+		t.Errorf("KL max load %d exceeds limit %.0f and LOAD-BAL's %d", klMax, limit, lbMax)
+	}
+}
+
+func maxLoad(loads []uint64) uint64 {
+	var m uint64
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+func TestKLShareErrors(t *testing.T) {
+	d := dataFromMatrix(symmetric(3, nil))
+	if _, err := KLShare(d, 5, DefaultLoadSlack); err == nil {
+		t.Error("p > t accepted")
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	exts := Extensions()
+	if len(exts) == 0 {
+		t.Fatal("no extensions")
+	}
+	if exts[0].Name != "KL-SHARE" || !exts[0].SharingBased {
+		t.Errorf("unexpected extension %+v", exts[0])
+	}
+	d := dataFromMatrix(symmetric(8, map[[2]int]uint64{{0, 1}: 5}))
+	pl, err := exts[0].Place(d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(8, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossSharedRefs(t *testing.T) {
+	d := dataFromMatrix(symmetric(4, map[[2]int]uint64{
+		{0, 1}: 10, {2, 3}: 20, {0, 2}: 7,
+	}))
+	pl := &Placement{Algorithm: "X", Clusters: [][]int{{0, 1}, {2, 3}}}
+	if got := CrossSharedRefs(d, pl); got != 7 {
+		t.Errorf("cross = %d, want 7", got)
+	}
+	pl = &Placement{Algorithm: "X", Clusters: [][]int{{0, 2}, {1, 3}}}
+	if got := CrossSharedRefs(d, pl); got != 30 {
+		t.Errorf("cross = %d, want 30", got)
+	}
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// WriteCSV writes the table's header and rows as RFC 4180 CSV (title and
+// note are not included; CSV consumers want pure data).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		// Pad short rows so every record has the header's width.
+		rec := make([]string, len(t.Columns))
+		copy(rec, row)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVOf renders any chart-like data as a table first. BarChart's CSV is
+// one record per bar: group, label, value.
+func (c *BarChart) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group", "label", "value"}); err != nil {
+		return err
+	}
+	for _, g := range c.Groups {
+		for _, b := range g.Bars {
+			if err := cw.Write([]string{g.Label, b.Label, F(b.Value, 6)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *BarChart {
+	return &BarChart{
+		Title: "Figure & <Test>",
+		Note:  "a note",
+		Groups: []BarGroup{
+			{Label: "2 processors", Bars: []BarItem{
+				{Label: "RANDOM", Value: 1.0},
+				{Label: "LOAD-BAL", Value: 0.8},
+			}},
+			{Label: "4 processors", Bars: []BarItem{
+				{Label: "RANDOM", Value: 1.0},
+			}},
+		},
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"App", "Value"}}
+	tb.AddRow("LocusRoute", "1.5")
+	tb.AddRow("short") // short row gets padded
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	if recs[0][0] != "App" || recs[1][1] != "1.5" || recs[2][1] != "" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestBarChartCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 bars
+		t.Fatalf("%d records, want 4", len(recs))
+	}
+	if recs[2][0] != "2 processors" || recs[2][1] != "LOAD-BAL" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "Figure &amp; &lt;Test&gt;", "RANDOM", "LOAD-BAL", "2 processors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// RANDOM's full-scale bar must be wider than LOAD-BAL's.
+	if !strings.Contains(out, `width="440"`) {
+		t.Error("no full-width bar for the max value")
+	}
+	if !strings.Contains(out, `width="352"`) { // 0.8 * 440
+		t.Error("no proportional bar for 0.8")
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	var buf bytes.Buffer
+	c := &BarChart{Title: "empty"}
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("empty chart did not render")
+	}
+}

@@ -1,0 +1,189 @@
+// Package report renders experiment results as aligned text tables and
+// ASCII bar charts, the library's equivalent of the paper's tables and
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Note, if non-empty, is printed under the title.
+	Note string
+	// Columns are the header cells.
+	Columns []string
+	// Rows hold the body cells; short rows are padded with empty cells.
+	Rows [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	line := func(cells []string) {
+		for i, width := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				// left-align the first column
+				fmt.Fprintf(&b, "%-*s", width, c)
+			} else {
+				fmt.Fprintf(&b, "%*s", width, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Bar renders a horizontal bar of the given value: `scale` is the value
+// that maps to full width.
+func Bar(value, scale float64, width int) string {
+	if scale <= 0 || value <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value / scale * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// BarChart is a grouped bar chart: for each group (e.g. a processor
+// configuration), one labeled bar per series (e.g. a placement algorithm).
+type BarChart struct {
+	// Title is printed above the chart.
+	Title string
+	// Note, if non-empty, is printed under the title.
+	Note string
+	// Groups in display order.
+	Groups []BarGroup
+	// Width is the full bar width in characters (default 40).
+	Width int
+}
+
+// BarGroup is one cluster of bars.
+type BarGroup struct {
+	// Label heads the group, e.g. "4 processors".
+	Label string
+	// Bars in display order.
+	Bars []BarItem
+}
+
+// BarItem is one bar.
+type BarItem struct {
+	// Label names the bar, e.g. the algorithm.
+	Label string
+	// Value is the bar's magnitude.
+	Value float64
+}
+
+// Render writes the chart. Bars are scaled to the maximum value across the
+// whole chart.
+func (c *BarChart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	labelW := 0
+	for _, g := range c.Groups {
+		for _, bar := range g.Bars {
+			if bar.Value > max {
+				max = bar.Value
+			}
+			if len(bar.Label) > labelW {
+				labelW = len(bar.Label)
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if c.Note != "" {
+		fmt.Fprintf(&b, "%s\n", c.Note)
+	}
+	for _, g := range c.Groups {
+		fmt.Fprintf(&b, "%s\n", g.Label)
+		for _, bar := range g.Bars {
+			fmt.Fprintf(&b, "  %-*s %6.3f %s\n", labelW, bar.Label, bar.Value, Bar(bar.Value, max, width))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	_ = c.Render(&b)
+	return b.String()
+}
+
+// F formats a float with the given decimals, trimming to integer form when
+// decimals is 0.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// K formats a count in thousands with one decimal, the paper's "(in
+// 1000s)" presentation.
+func K(v float64) string {
+	return fmt.Sprintf("%.1f", v/1000)
+}
+
+// Pct formats a ratio as a percentage with the given decimals.
+func Pct(ratio float64, decimals int) string {
+	return fmt.Sprintf("%.*f%%", decimals, ratio*100)
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "Title",
+		Note:    "note",
+		Columns: []string{"App", "Value"},
+	}
+	tb.AddRow("LocusRoute", "12.5")
+	tb.AddRow("FFT", "3")
+	out := tb.String()
+	for _, want := range []string{"Title", "note", "App", "LocusRoute", "12.5", "FFT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, note, header, rule, 2 rows
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Columns align: "Value" header and "12.5" end at the same offset.
+	var headerEnd, rowEnd int
+	for _, l := range lines {
+		if strings.Contains(l, "Value") {
+			headerEnd = len(l)
+		}
+		if strings.Contains(l, "12.5") {
+			rowEnd = len(l)
+		}
+	}
+	if headerEnd != rowEnd {
+		t.Errorf("columns misaligned: header ends %d, row ends %d", headerEnd, rowEnd)
+	}
+}
+
+func TestTableShortRows(t *testing.T) {
+	tb := &Table{Columns: []string{"A", "B", "C"}}
+	tb.AddRow("x")
+	if out := tb.String(); !strings.Contains(out, "x") {
+		t.Errorf("short row dropped: %s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(10, 10, 20); len(got) != 20 {
+		t.Errorf("full bar length = %d, want 20", len(got))
+	}
+	if got := Bar(5, 10, 20); len(got) != 10 {
+		t.Errorf("half bar length = %d, want 10", len(got))
+	}
+	if got := Bar(0.0001, 10, 20); len(got) != 1 {
+		t.Errorf("tiny bar length = %d, want 1 (visible)", len(got))
+	}
+	if got := Bar(100, 10, 20); len(got) != 20 {
+		t.Errorf("overflow bar clamped to %d, want 20", len(got))
+	}
+	if Bar(0, 10, 20) != "" || Bar(5, 0, 20) != "" {
+		t.Error("degenerate bars must be empty")
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title: "Figure 2",
+		Groups: []BarGroup{
+			{Label: "2 processors", Bars: []BarItem{
+				{Label: "RANDOM", Value: 1.0},
+				{Label: "LOAD-BAL", Value: 0.8},
+			}},
+			{Label: "4 processors", Bars: []BarItem{
+				{Label: "RANDOM", Value: 1.0},
+			}},
+		},
+	}
+	out := c.String()
+	for _, want := range []string{"Figure 2", "2 processors", "4 processors", "RANDOM", "LOAD-BAL", "0.800", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// LOAD-BAL bar must be shorter than RANDOM's.
+	var randomBar, lbBar int
+	for _, l := range strings.Split(out, "\n") {
+		n := strings.Count(l, "#")
+		if strings.Contains(l, "RANDOM") && randomBar == 0 {
+			randomBar = n
+		}
+		if strings.Contains(l, "LOAD-BAL") {
+			lbBar = n
+		}
+	}
+	if lbBar >= randomBar {
+		t.Errorf("LOAD-BAL bar (%d) not shorter than RANDOM (%d)", lbBar, randomBar)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.2345, 2) != "1.23" {
+		t.Error("F wrong")
+	}
+	if K(12345) != "12.3" {
+		t.Error("K wrong")
+	}
+	if Pct(0.123, 1) != "12.3%" {
+		t.Error("Pct wrong")
+	}
+}

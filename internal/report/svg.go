@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SVG rendering of grouped bar charts — standalone figure files for the
+// regenerated paper figures, produced with the standard library only.
+
+const (
+	svgBarHeight   = 14
+	svgBarGap      = 4
+	svgGroupGap    = 26
+	svgLabelWidth  = 150
+	svgValueWidth  = 64
+	svgPlotWidth   = 440
+	svgMarginTop   = 46
+	svgMarginLeft  = 16
+	svgMarginRight = 16
+	svgMarginBot   = 16
+)
+
+// svgPalette colors bars by their within-group index, cycling.
+var svgPalette = []string{
+	"#4878a8", "#9470b4", "#58a066", "#c4803c", "#b05454",
+	"#58949c", "#8a8a44", "#6868b8", "#a05c84", "#7c7c7c",
+}
+
+// WriteSVG renders the chart as a standalone SVG document.
+func (c *BarChart) WriteSVG(w io.Writer) error {
+	var max float64
+	bars := 0
+	for _, g := range c.Groups {
+		for _, b := range g.Bars {
+			if b.Value > max {
+				max = b.Value
+			}
+			bars++
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	height := svgMarginTop + svgMarginBot +
+		bars*(svgBarHeight+svgBarGap) + len(c.Groups)*svgGroupGap
+	width := svgMarginLeft + svgLabelWidth + svgPlotWidth + svgValueWidth + svgMarginRight
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<style>text{font-family:sans-serif;font-size:11px;fill:#222}.title{font-size:14px;font-weight:bold}.note{font-size:10px;fill:#666}.group{font-weight:bold}</style>` + "\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" class="title">%s</text>`+"\n", svgMarginLeft, svgEscape(c.Title))
+	if c.Note != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="34" class="note">%s</text>`+"\n", svgMarginLeft, svgEscape(c.Note))
+	}
+
+	y := svgMarginTop
+	for _, g := range c.Groups {
+		y += svgGroupGap - 8
+		fmt.Fprintf(&b, `<text x="%d" y="%d" class="group">%s</text>`+"\n", svgMarginLeft, y, svgEscape(g.Label))
+		y += 8
+		for i, bar := range g.Bars {
+			barW := int(bar.Value / max * float64(svgPlotWidth))
+			if barW < 1 && bar.Value > 0 {
+				barW = 1
+			}
+			color := svgPalette[i%len(svgPalette)]
+			fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+				svgMarginLeft, y+svgBarHeight-3, svgEscape(bar.Label))
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				svgMarginLeft+svgLabelWidth, y, barW, svgBarHeight, color)
+			fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+				svgMarginLeft+svgLabelWidth+barW+6, y+svgBarHeight-3, F(bar.Value, 3))
+			y += svgBarHeight + svgBarGap
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// svgEscape escapes the XML special characters in text content.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

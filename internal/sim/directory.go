@@ -1,0 +1,75 @@
+package sim
+
+import "math/bits"
+
+// directory is the distributed, full-map directory of the cache coherence
+// protocol (§3.2 cites Censier-Feautrier style directory coherence). Homes
+// are distributed by block address; since the interconnect is modeled as a
+// flat latency, home placement affects no timing and the directory is
+// implemented as one logical map.
+type directory struct {
+	nprocs int
+	words  int
+	// entries maps block -> sharer bitmap. A block in Modified state has
+	// exactly one bit set and owner >= 0.
+	entries map[uint64]*dirEntry
+}
+
+// dirEntry tracks one block's global state.
+type dirEntry struct {
+	sharers []uint64 // bitmap over processors
+	owner   int32    // processor holding the block Modified, or -1
+}
+
+func newDirectory(nprocs int) *directory {
+	return &directory{
+		nprocs:  nprocs,
+		words:   (nprocs + 63) / 64,
+		entries: make(map[uint64]*dirEntry),
+	}
+}
+
+func (d *directory) entry(block uint64) *dirEntry {
+	e := d.entries[block]
+	if e == nil {
+		e = &dirEntry{sharers: make([]uint64, d.words), owner: -1}
+		d.entries[block] = e
+	}
+	return e
+}
+
+// peek returns the entry without creating one.
+func (d *directory) peek(block uint64) *dirEntry { return d.entries[block] }
+
+func (e *dirEntry) has(p int) bool { return e.sharers[p/64]&(1<<(uint(p)%64)) != 0 }
+func (e *dirEntry) add(p int)      { e.sharers[p/64] |= 1 << (uint(p) % 64) }
+func (e *dirEntry) remove(p int)   { e.sharers[p/64] &^= 1 << (uint(p) % 64) }
+
+func (e *dirEntry) clearSharers() {
+	for i := range e.sharers {
+		e.sharers[i] = 0
+	}
+}
+
+// count returns the number of sharers.
+func (e *dirEntry) count() int {
+	n := 0
+	for _, w := range e.sharers {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// others calls f for every sharer except p, in ascending processor order.
+func (e *dirEntry) others(p int, f func(q int)) {
+	for wi, w := range e.sharers {
+		for ; w != 0; w &= w - 1 {
+			q := wi*64 + bits.TrailingZeros64(w)
+			if q != p {
+				f(q)
+			}
+		}
+	}
+}

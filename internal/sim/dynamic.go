@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// Dynamic scheduling: an extension beyond the paper's static placements.
+// The paper's RANDOM baseline is "what a low-overhead runtime scheduler
+// would adopt, given no a priori application knowledge" — but a real
+// runtime scheduler is *online*: it hands the next waiting thread to
+// whichever processor frees a context first, load-balancing without any
+// static analysis. RunDynamic simulates that discipline, bounding what
+// static LOAD-BAL's oracle knowledge (exact thread lengths) is worth.
+
+// SchedulePolicy orders the dynamic scheduler's ready queue.
+type SchedulePolicy int
+
+const (
+	// FIFO hands out threads in creation order.
+	FIFO SchedulePolicy = iota
+	// LongestFirst hands out the longest remaining thread first (online
+	// LPT — needs thread lengths, but no sharing analysis).
+	LongestFirst
+)
+
+// String names the policy.
+func (p SchedulePolicy) String() string {
+	if p == LongestFirst {
+		return "longest-first"
+	}
+	return "fifo"
+}
+
+// RunDynamic simulates the trace with online self-scheduling instead of a
+// static placement: each processor starts ContextsPerProc threads (from
+// cfg.MaxContexts, default 1) and pulls the next queued thread whenever a
+// context frees. Returns the same Result as Run; Result.Algorithm is
+// "DYNAMIC/<policy>".
+//
+// Implementation: the global queue is consumed through the same engine as
+// static runs. Because context-free events occur in deterministic global
+// time order, the simulation is reproducible.
+func RunDynamic(tr *trace.Trace, cfg Config, policy SchedulePolicy) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := tr.NumThreads()
+	perProc := cfg.MaxContexts
+	if perProc <= 0 {
+		perProc = 1
+	}
+	if cfg.Processors*perProc > n {
+		return nil, fmt.Errorf("sim: dynamic run needs at least %d threads to seed %d processors x %d contexts, got %d",
+			cfg.Processors*perProc, cfg.Processors, perProc, n)
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if policy == LongestFirst {
+		sort.SliceStable(order, func(a, b int) bool {
+			la, lb := tr.Threads[order[a]].Instructions(), tr.Threads[order[b]].Instructions()
+			if la != lb {
+				return la > lb
+			}
+			return order[a] < order[b]
+		})
+	}
+
+	// Seed each processor with its initial contexts; the rest form the
+	// global ready queue.
+	clusters := make([][]int, cfg.Processors)
+	pos := 0
+	for q := 0; q < cfg.Processors; q++ {
+		clusters[q] = append(clusters[q], order[pos:pos+perProc]...)
+		pos += perProc
+	}
+	queue := append([]int(nil), order[pos:]...)
+
+	pl := &placement.Placement{
+		Algorithm: "DYNAMIC/" + policy.String(),
+		Clusters:  clusters,
+	}
+	// The engine treats queue as shared: newMachine wires it through
+	// cfg-independent state below.
+	m, err := newMachineDynamic(tr, pl, cfg, queue)
+	if err != nil {
+		return nil, err
+	}
+	return m.run(tr, pl, 0)
+}
+
+// newMachineDynamic builds a machine whose processors pull additional
+// threads from a shared queue when contexts free.
+func newMachineDynamic(tr *trace.Trace, pl *placement.Placement, cfg Config, queue []int) (*machine, error) {
+	// The seeded clusters do not cover all threads, so the standard
+	// placement validation does not apply; check the basics directly.
+	if len(pl.Clusters) != cfg.Processors {
+		return nil, fmt.Errorf("sim: %d clusters for %d processors", len(pl.Clusters), cfg.Processors)
+	}
+	// Build via a full placement covering every thread, then strip the
+	// queued threads back out of the per-processor context lists.
+	full := &placement.Placement{Algorithm: pl.Algorithm, Clusters: make([][]int, len(pl.Clusters))}
+	for i, c := range pl.Clusters {
+		full.Clusters[i] = append([]int(nil), c...)
+	}
+	full.Clusters[0] = append(full.Clusters[0], queue...)
+	cfgAll := cfg
+	cfgAll.MaxContexts = 0
+	m, err := newMachine(tr, full, cfgAll)
+	if err != nil {
+		return nil, err
+	}
+	m.cfg = cfg
+	// Detach the queued threads from processor 0: they wait in the
+	// global queue instead.
+	p0 := m.procs[0]
+	seeded := len(pl.Clusters[0])
+	for _, c := range p0.ctxs[seeded:] {
+		if c.state == ctxDone {
+			// Empty thread: leave it accounted as done on p0.
+			continue
+		}
+		c.state = ctxUnloaded
+		m.dynQueue = append(m.dynQueue, dynThread{thread: c.thread, cur: c.cur, pending: c.pending})
+	}
+	p0.ctxs = p0.ctxs[:seeded]
+	p0.nextLoad = len(p0.ctxs)
+	p0.rr = len(p0.ctxs) - 1
+	m.dynamic = true
+	return m, nil
+}
+
+// dynThread is a thread waiting in the dynamic scheduler's global queue.
+type dynThread struct {
+	thread  int
+	cur     *trace.Cursor
+	pending trace.Event
+}
+
+// pullDynamic hands the processor the next queued thread, if any,
+// installing it in a fresh hardware context.
+func (m *machine) pullDynamic(p *proc) bool {
+	if len(m.dynQueue) == 0 {
+		return false
+	}
+	dt := m.dynQueue[0]
+	m.dynQueue = m.dynQueue[1:]
+	c := &context{
+		idx:     int32(len(p.ctxs)),
+		thread:  dt.thread,
+		cur:     dt.cur,
+		pending: dt.pending,
+		state:   ctxReady,
+	}
+	p.ctxs = append(p.ctxs, c)
+	p.nextLoad = len(p.ctxs)
+	return true
+}

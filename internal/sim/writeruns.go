@@ -1,0 +1,106 @@
+package sim
+
+// Write-run measurement (§4.2 of the paper, footnote 2: "write runs are
+// sequences of accesses by a single thread"). The paper's analysis of FFT
+// found 73% of shared elements migratory — accessed in long write runs —
+// which explains why a preponderance of static shared references produces
+// almost no interconnect traffic. Enabling Config.TrackWriteRuns collects
+// the equivalent dynamic statistic: per written shared block, the lengths
+// of the maximal single-thread write runs in global time order.
+
+// writeRunState accumulates one block's write history.
+type writeRunState struct {
+	lastWriter  int32 // global thread ID of the last writer
+	firstWriter int32
+	multiWriter bool
+	curRun      uint32
+	runs        uint32
+	writes      uint64
+}
+
+// writeRunTracker observes every shared-segment write in simulation order.
+type writeRunTracker struct {
+	blocks map[uint64]*writeRunState
+}
+
+func newWriteRunTracker() *writeRunTracker {
+	return &writeRunTracker{blocks: make(map[uint64]*writeRunState)}
+}
+
+// observe records a write to block by the given global thread.
+func (w *writeRunTracker) observe(block uint64, thread int32) {
+	st := w.blocks[block]
+	if st == nil {
+		st = &writeRunState{lastWriter: thread, firstWriter: thread, curRun: 1, writes: 1}
+		w.blocks[block] = st
+		return
+	}
+	st.writes++
+	if st.lastWriter == thread {
+		st.curRun++
+		return
+	}
+	st.multiWriter = true
+	st.runs++
+	st.curRun = 1
+	st.lastWriter = thread
+}
+
+// MigratoryRunLength is the minimum mean write-run length for a
+// multi-writer block to count as migratory.
+const MigratoryRunLength = 4
+
+// WriteRunStats summarizes the write-sharing behaviour of one run.
+type WriteRunStats struct {
+	// WrittenBlocks is the number of shared blocks written at least once.
+	WrittenBlocks int
+	// SingleWriterBlocks were only ever written by one thread.
+	SingleWriterBlocks int
+	// MigratoryBlocks had multiple writers in long (>= MigratoryRunLength)
+	// single-thread write runs — data that moves between threads but is
+	// used in bursts, producing little coherence traffic per reference.
+	MigratoryBlocks int
+	// PingPongBlocks had multiple writers in short runs — the
+	// alternating pattern that does produce per-access traffic.
+	PingPongBlocks int
+	// MeanRunLength is the mean single-thread write-run length over all
+	// multi-writer blocks.
+	MeanRunLength float64
+}
+
+// MigratoryPct returns migratory blocks as a percentage of multi-writer
+// blocks (the paper's "73% of all shared elements are migratory" figure
+// for FFT).
+func (s WriteRunStats) MigratoryPct() float64 {
+	multi := s.MigratoryBlocks + s.PingPongBlocks
+	if multi == 0 {
+		return 0
+	}
+	return float64(s.MigratoryBlocks) / float64(multi) * 100
+}
+
+// stats finalizes the tracker into summary statistics.
+func (w *writeRunTracker) stats() *WriteRunStats {
+	out := &WriteRunStats{}
+	var totalWrites, totalRuns float64
+	for _, st := range w.blocks {
+		out.WrittenBlocks++
+		if !st.multiWriter {
+			out.SingleWriterBlocks++
+			continue
+		}
+		runs := st.runs + 1 // the still-open final run
+		mean := float64(st.writes) / float64(runs)
+		if mean >= MigratoryRunLength {
+			out.MigratoryBlocks++
+		} else {
+			out.PingPongBlocks++
+		}
+		totalWrites += float64(st.writes)
+		totalRuns += float64(runs)
+	}
+	if totalRuns > 0 {
+		out.MeanRunLength = totalWrites / totalRuns
+	}
+	return out
+}

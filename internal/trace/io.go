@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format (all integers are unsigned varints unless noted):
+//
+//	magic   4 bytes  "MTT1"
+//	appLen  uvarint, app name bytes
+//	nthreads uvarint
+//	per thread:
+//	    id      uvarint (must equal index)
+//	    nrefs   uvarint
+//	    per ref:
+//	        gapKind uvarint: gap<<1 | kind
+//	        addr    uvarint: zig-zag delta from previous address
+//
+// Address deltas compress the strided access patterns the kernels produce.
+
+var magic = [4]byte{'M', 'T', 'T', '1'}
+
+// WriteTo serializes the trace in the binary format.
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		return write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+
+	if err := write(magic[:]); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(tr.App))); err != nil {
+		return n, err
+	}
+	if err := write([]byte(tr.App)); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(tr.Threads))); err != nil {
+		return n, err
+	}
+	for i, t := range tr.Threads {
+		if err := writeUvarint(uint64(i)); err != nil {
+			return n, err
+		}
+		if err := writeUvarint(uint64(len(t.events))); err != nil {
+			return n, err
+		}
+		var prev uint64
+		for _, wrd := range t.events {
+			e := Unpack(wrd)
+			gk := uint64(e.Gap) << 1
+			if e.Kind == Write {
+				gk |= 1
+			}
+			if err := writeUvarint(gk); err != nil {
+				return n, err
+			}
+			delta := int64(e.Addr) - int64(prev)
+			zz := uint64(delta<<1) ^ uint64(delta>>63)
+			if err := writeUvarint(zz); err != nil {
+				return n, err
+			}
+			prev = e.Addr
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadFrom parses a trace in the binary format. It validates the header and
+// structural invariants and returns a descriptive error on corruption.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	appLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading app name length: %w", err)
+	}
+	const maxName = 1 << 12
+	if appLen == 0 || appLen > maxName {
+		return nil, fmt.Errorf("trace: implausible app name length %d", appLen)
+	}
+	name := make([]byte, appLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading app name: %w", err)
+	}
+	nthreads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+	}
+	const maxThreads = 1 << 16
+	if nthreads == 0 || nthreads > maxThreads {
+		return nil, fmt.Errorf("trace: implausible thread count %d", nthreads)
+	}
+	tr := New(string(name), int(nthreads))
+	for i := 0; i < int(nthreads); i++ {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread %d: reading id: %w", i, err)
+		}
+		if id != uint64(i) {
+			return nil, fmt.Errorf("trace: thread %d has id %d", i, id)
+		}
+		nrefs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread %d: reading ref count: %w", i, err)
+		}
+		t := tr.Threads[i]
+		t.events = make([]uint64, 0, nrefs)
+		var prev uint64
+		for j := uint64(0); j < nrefs; j++ {
+			gk, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d ref %d: reading gap: %w", i, j, err)
+			}
+			gap := gk >> 1
+			if gap > uint64(MaxGap) {
+				return nil, fmt.Errorf("trace: thread %d ref %d: gap %d out of range", i, j, gap)
+			}
+			zz, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d ref %d: reading addr: %w", i, j, err)
+			}
+			delta := int64(zz>>1) ^ -int64(zz&1)
+			addr := uint64(int64(prev) + delta)
+			if addr > MaxAddr {
+				return nil, fmt.Errorf("trace: thread %d ref %d: address %#x out of range", i, j, addr)
+			}
+			prev = addr
+			k := Read
+			if gk&1 != 0 {
+				k = Write
+			}
+			t.append(Pack(Event{Gap: uint32(gap), Kind: k, Addr: addr}))
+		}
+	}
+	return tr, nil
+}

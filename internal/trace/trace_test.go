@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := []Event{
+		{Gap: 0, Kind: Read, Addr: 0},
+		{Gap: 1, Kind: Write, Addr: 8},
+		{Gap: MaxGap, Kind: Read, Addr: MaxAddr},
+		{Gap: 42, Kind: Write, Addr: SharedBase},
+		{Gap: 100, Kind: Read, Addr: SharedBase + 4096},
+	}
+	for _, e := range cases {
+		got := Unpack(Pack(e))
+		if got != e {
+			t.Errorf("round trip %+v -> %+v", e, got)
+		}
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(gap uint32, write bool, addr uint64) bool {
+		e := Event{Gap: gap % (MaxGap + 1), Addr: addr % (MaxAddr + 1)}
+		if write {
+			e.Kind = Write
+		}
+		return Unpack(Pack(e)) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackPanicsOutOfRange(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("addr", func() { Pack(Event{Addr: MaxAddr + 1}) })
+	mustPanic("gap", func() { Pack(Event{Gap: MaxGap + 1}) })
+}
+
+func TestRecorderBasics(t *testing.T) {
+	tr := New("test", 2)
+	r := NewRecorder(tr, 0)
+	r.Compute(10)
+	r.Load(8)
+	r.Compute(5)
+	r.Store(16)
+	r.Load(SharedBase)
+
+	th := tr.Threads[0]
+	if th.Refs() != 3 {
+		t.Fatalf("refs = %d, want 3", th.Refs())
+	}
+	want := []Event{
+		{Gap: 10, Kind: Read, Addr: 8},
+		{Gap: 5, Kind: Write, Addr: 16},
+		{Gap: 0, Kind: Read, Addr: SharedBase},
+	}
+	for i, w := range want {
+		if got := th.Event(i); got != w {
+			t.Errorf("event %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if got := th.Instructions(); got != 10+1+5+1+1 {
+		t.Errorf("instructions = %d, want 18", got)
+	}
+	if th.Reads() != 2 || th.Writes() != 1 {
+		t.Errorf("reads/writes = %d/%d, want 2/1", th.Reads(), th.Writes())
+	}
+}
+
+func TestRecorderSplitsHugeGaps(t *testing.T) {
+	tr := New("test", 1)
+	r := NewRecorder(tr, 0)
+	total := int(MaxGap)*2 + 100
+	r.Compute(total)
+	r.Load(64)
+	th := tr.Threads[0]
+	if th.Refs() < 2 {
+		t.Fatalf("expected gap to split into multiple events, got %d refs", th.Refs())
+	}
+	// Total instructions must be preserved: gaps + one instruction per ref.
+	if got, want := th.Instructions(), uint64(total)+uint64(th.Refs()); got != want {
+		t.Errorf("instructions = %d, want %d", got, want)
+	}
+	// Filler refs must not widen the footprint.
+	for i := 0; i < th.Refs(); i++ {
+		if a := th.Event(i).Addr; a != 64 {
+			t.Errorf("event %d touches %#x, want 0x40", i, a)
+		}
+	}
+}
+
+func TestRecorderUnalignedPanics(t *testing.T) {
+	tr := New("test", 1)
+	r := NewRecorder(tr, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unaligned address")
+		}
+	}()
+	r.Load(3)
+}
+
+func TestRecorderOutOfRangePanics(t *testing.T) {
+	tr := New("test", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad thread index")
+		}
+	}()
+	NewRecorder(tr, 5)
+}
+
+func TestCursor(t *testing.T) {
+	tr := New("test", 1)
+	r := NewRecorder(tr, 0)
+	for i := 0; i < 10; i++ {
+		r.Compute(i)
+		r.Load(uint64(i * 8))
+	}
+	c := tr.Threads[0].Cursor()
+	if c.Remaining() != 10 {
+		t.Fatalf("remaining = %d, want 10", c.Remaining())
+	}
+	n := 0
+	for {
+		e, ok := c.Next()
+		if !ok {
+			break
+		}
+		if e.Addr != uint64(n*8) || e.Gap != uint32(n) {
+			t.Errorf("event %d = %+v", n, e)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("iterated %d events, want 10", n)
+	}
+	c.Reset()
+	if c.Remaining() != 10 {
+		t.Errorf("after reset remaining = %d, want 10", c.Remaining())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := New("app", 2)
+	for i := 0; i < 2; i++ {
+		r := NewRecorder(tr, i)
+		r.Load(8)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+
+	empty := New("app", 1)
+	if err := empty.Validate(); err == nil {
+		t.Error("trace with empty thread accepted")
+	}
+
+	noname := New("", 1)
+	NewRecorder(noname, 0).Load(8)
+	if err := noname.Validate(); err == nil {
+		t.Error("trace with empty name accepted")
+	}
+
+	bad := New("app", 2)
+	NewRecorder(bad, 0).Load(8)
+	NewRecorder(bad, 1).Load(8)
+	bad.Threads[1].ID = 7
+	if err := bad.Validate(); err == nil {
+		t.Error("trace with wrong thread ID accepted")
+	}
+}
+
+func TestTraceTotals(t *testing.T) {
+	tr := New("app", 3)
+	for i := 0; i < 3; i++ {
+		r := NewRecorder(tr, i)
+		for j := 0; j <= i; j++ {
+			r.Compute(9)
+			r.Store(uint64(8 * (j + 1)))
+		}
+	}
+	if got := tr.TotalRefs(); got != 6 {
+		t.Errorf("total refs = %d, want 6", got)
+	}
+	if got := tr.TotalInstructions(); got != 60 {
+		t.Errorf("total instructions = %d, want 60", got)
+	}
+	ls := tr.ThreadLengths()
+	want := []uint64{10, 20, 30}
+	for i := range want {
+		if ls[i] != want[i] {
+			t.Errorf("length[%d] = %d, want %d", i, ls[i], want[i])
+		}
+	}
+}
+
+func TestSharedBaseClassification(t *testing.T) {
+	if IsShared(SharedBase - WordSize) {
+		t.Error("address below SharedBase classified shared")
+	}
+	if !IsShared(SharedBase) {
+		t.Error("SharedBase itself not classified shared")
+	}
+}
+
+func TestSortedAddrs(t *testing.T) {
+	tr := New("app", 1)
+	r := NewRecorder(tr, 0)
+	r.Load(24)
+	r.Load(8)
+	r.Store(24)
+	r.Load(16)
+	got := tr.Threads[0].SortedAddrs()
+	want := []uint64{8, 16, 24}
+	if len(got) != len(want) {
+		t.Fatalf("addrs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("addrs = %v, want %v", got, want)
+		}
+	}
+}
+
+// randomTrace builds a pseudo-random but valid trace for round-trip tests.
+func randomTrace(rng *rand.Rand, app string, threads, refs int) *Trace {
+	tr := New(app, threads)
+	for i := 0; i < threads; i++ {
+		r := NewRecorder(tr, i)
+		for j := 0; j < refs; j++ {
+			r.Compute(rng.Intn(200))
+			addr := uint64(rng.Intn(1<<20)) * WordSize
+			if rng.Intn(2) == 0 {
+				addr += SharedBase
+			}
+			if rng.Intn(3) == 0 {
+				r.Store(addr)
+			} else {
+				r.Load(addr)
+			}
+		}
+	}
+	return tr
+}

@@ -1,0 +1,82 @@
+package workload
+
+// BarnesHut models the SPLASH hierarchical N-body simulator. Bodies are
+// spatially partitioned into contiguous zones; during a time step every
+// thread read-shares the tree's cell summaries and nearby body positions,
+// then does a purely local update of its own bodies at the end of the
+// step. This is the paper's §4.2 exemplar of wide read-sharing with local
+// writes (computation phase ~1.6M instructions dominating the write
+// phase).
+//
+// Table 2 targets: 32 threads, ~7% thread-length deviation, ~59% shared
+// references.
+
+func barnesHut() App {
+	return App{
+		Name:        "Barnes-Hut",
+		Grain:       Coarse,
+		Threads:     32,
+		CacheSize:   32 << 10,
+		Description: "hierarchical N-body simulation with zoned body ownership",
+		build:       buildBarnesHut,
+	}
+}
+
+func buildBarnesHut(b *builder) {
+	const (
+		bodiesPerZone = 16
+		treeCells     = 512
+		steps         = 2
+	)
+	nbodies := bodiesPerZone * b.app.Threads
+	pos := b.Shared(nbodies * 2)
+	cellSummary := b.Shared(treeCells * 2) // centre of mass + mass per cell
+
+	b.EachThread(func(t *T) {
+		acc := b.Private(t.ID, bodiesPerZone*2)
+		walkStack := b.Private(t.ID, 64)
+		zone := t.ID * bodiesPerZone
+
+		for s := 0; s < steps; s++ {
+			// Zone populations drift slightly between steps: +-12%.
+			bodies := bodiesPerZone + t.Intn(bodiesPerZone/4) - bodiesPerZone/8
+			for m := 0; m < bodies; m++ {
+				body := zone + m%bodiesPerZone
+				t.Read(pos, body*2)
+				t.Read(pos, body*2+1)
+
+				// Walk the tree: read cell summaries from root to leaf.
+				depth := b.N(9)
+				for d := 0; d < depth; d++ {
+					cell := (body*31 + d*d*67 + s) % treeCells
+					t.Read(cellSummary, cell*2)
+					t.Read(cellSummary, cell*2+1)
+					t.Write(walkStack, d%64)
+					t.Compute(8) // multipole acceptance test
+				}
+
+				// Direct interactions with bodies in neighbouring zones;
+				// partial results accumulate in private scratch.
+				n := b.N(12)
+				for k := 0; k < n; k++ {
+					nb := (zone + bodiesPerZone + k*3) % nbodies
+					t.Read(pos, nb*2)
+					t.Read(walkStack, k%64)
+					t.Compute(10)
+				}
+				t.Write(acc, (m%bodiesPerZone)*2)
+				t.Write(acc, (m%bodiesPerZone)*2+1)
+				t.Compute(6)
+			}
+			// Update phase: local integration, own positions written once.
+			for m := 0; m < bodiesPerZone; m++ {
+				body := zone + m
+				t.Read(acc, m*2)
+				t.Read(acc, m*2+1)
+				t.Compute(12)
+				t.Write(pos, body*2)
+				t.Write(pos, body*2+1)
+			}
+		}
+	})
+}

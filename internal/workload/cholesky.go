@@ -1,0 +1,69 @@
+package workload
+
+// Cholesky models the SPLASH sparse Cholesky factorization. Threads own
+// column panels; the heavy inner work (panel updates) runs on private
+// scratch, and only the pivot-column reads touch shared memory. This makes
+// Cholesky the suite's low-sharing outlier: the paper reports only ~17%
+// shared references, so sharing-based placement has little to work with.
+//
+// Table 2 targets: 48 threads, zero thread-length deviation, ~17% shared
+// references.
+
+func cholesky() App {
+	return App{
+		Name:        "Cholesky",
+		Grain:       Coarse,
+		Threads:     48,
+		CacheSize:   32 << 10,
+		Description: "sparse Cholesky factorization with private panel updates",
+		build:       buildCholesky,
+	}
+}
+
+func buildCholesky(b *builder) {
+	const (
+		colsPerThread = 6
+		colLen        = 40 // nonzeros per column
+	)
+	ncols := colsPerThread * b.app.Threads
+	columns := b.Shared(ncols * colLen)
+
+	b.EachThread(func(t *T) {
+		panel := b.Private(t.ID, colLen*colLen/4)
+		accum := b.Private(t.ID, colLen)
+
+		for c := 0; c < colsPerThread; c++ {
+			col := t.ID*colsPerThread + c
+			// Read the supernodal pivot columns this column depends on
+			// (a fixed sparsity stencil reaching earlier columns).
+			for dep := 1; dep <= 3; dep++ {
+				pivot := (col + ncols - dep*7) % ncols
+				n := b.N(colLen / 2)
+				for i := 0; i < n; i++ {
+					t.Read(columns, pivot*colLen+i)
+					t.Compute(2)
+					t.Write(accum, i%colLen)
+				}
+			}
+			// cmod: the dense update runs entirely in the private panel.
+			n := b.N(colLen)
+			for i := 0; i < n; i++ {
+				for j := 0; j < 6; j++ {
+					t.Read(panel, (i*6+j)%(colLen*colLen/4))
+					t.Compute(4)
+				}
+				t.Write(panel, i%(colLen*colLen/4))
+				t.Read(accum, i%colLen)
+				t.Compute(7)
+			}
+			// cdiv: scale and publish the finished column (own slice of
+			// the shared matrix; written once — sequential sharing).
+			m := b.N(colLen / 2)
+			for i := 0; i < m; i++ {
+				t.Read(panel, i)
+				t.Compute(3)
+				t.Write(columns, col*colLen+i)
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package workload
+
+// FFT models the Presto fast Fourier transform. Butterfly tasks over the
+// shared signal array are forked at wildly different granularities — most
+// threads repeatedly process one small block while a few own entire
+// stage sweeps plus the bit-reversal permutation — giving the suite's most
+// extreme thread-length deviation (the paper reports 187.6%). The paper's
+// §4.2 analysis notes 73% of FFT's shared elements are migratory (long
+// write runs by one thread); here every array region is written in long
+// runs by its owning task, and the read-shared twiddle table is the only
+// widely shared data.
+//
+// Table 2 targets: 64 threads, ~150-200% thread-length deviation, ~72-85%
+// shared references, low runtime coherence.
+
+func fft() App {
+	return App{
+		Name:        "FFT",
+		Grain:       Medium,
+		Threads:     64,
+		CacheSize:   32 << 10, // the paper simulates FFT with 32 KB
+		Description: "radix-2 FFT with unevenly forked butterfly tasks",
+		build:       buildFFT,
+	}
+}
+
+func buildFFT(b *builder) {
+	const (
+		size      = 2048 // complex points
+		smallBlk  = 240  // butterflies per small task
+		bigStages = 20   // stage sweeps performed by each big task
+	)
+	signal := b.Shared(size * 2) // interleaved re/im
+	twiddle := b.Shared(size / 2)
+
+	// butterfly applies one radix-2 butterfly; coeff is the thread's
+	// private coefficient cache (real FFTs precompute per-task tables).
+	// Twiddle factors come from a narrow per-position band of the shared
+	// table, so each task's twiddle working set is small and read-shared.
+	butterfly := func(t *T, coeff Region, i, j int) {
+		t.Read(signal, i*2)
+		t.Read(signal, i*2+1)
+		t.Read(signal, j*2)
+		t.Read(signal, j*2+1)
+		t.Read(twiddle, (i+j)%64+(i+j)/64%16*64)
+		t.Read(coeff, (i+j)%coeff.Len())
+		t.Compute(26) // complex multiply-accumulate pair
+		t.Write(signal, i*2)
+		t.Write(signal, i*2+1)
+		t.Write(signal, j*2)
+		t.Write(signal, j*2+1)
+	}
+
+	b.EachThread(func(t *T) {
+		scratch := b.Private(t.ID, 64)
+		coeff := b.Private(t.ID, 128)
+
+		nsmall := b.app.Threads - 6
+		if t.ID < nsmall {
+			// Small task: repeated butterfly passes over one owned
+			// block in the upper half of the array (stages partition
+			// the array among tasks, so writes are disjoint).
+			half := size / 2
+			blk := half / nsmall
+			lo := half + t.ID*blk
+			stage := t.ID % 8
+			span := 1 << (stage%5 + 1)
+			n := b.N(smallBlk)
+			for k := 0; k < n; k++ {
+				i := lo + k%blk
+				j := lo + (k%blk+span/2)%blk
+				butterfly(t, coeff, i, j)
+				t.Write(scratch, k%64)
+				t.Compute(7)
+			}
+		} else {
+			// Big task: many stage sweeps over an owned region of the
+			// lower half, then the region's bit-reversal permutation —
+			// the long migratory write runs of the paper's analysis.
+			region := size / 12
+			sixth := t.ID - nsmall
+			lo := sixth * region
+			for stage := 0; stage < bigStages; stage++ {
+				span := 1 << (stage%6 + 2)
+				n := b.N(region)
+				for k := 0; k < n; k++ {
+					i := lo + (k*2+stage)%region
+					j := lo + (i-lo+span/2)%region
+					butterfly(t, coeff, i, j)
+					if k%4 == 0 {
+						t.Write(scratch, k%64)
+					}
+					t.Compute(8)
+				}
+			}
+			// Bit-reversal permutation of the thread's own region.
+			n := b.N(region)
+			for k := 0; k < n; k++ {
+				rev := lo + reverseBits(k, 8)%region
+				t.Read(signal, (lo+k)*2)
+				t.Write(signal, rev*2)
+				t.Compute(6)
+			}
+			// Final combining pass: each big task folds one segment of
+			// the small tasks' upper half into the result — a single
+			// late handoff per block. The small owner's long write run
+			// followed by the combiner's makes the data migratory (the
+			// paper: 73% of FFT's shared elements move in long write
+			// runs).
+			segment := (size / 2) / 6
+			base := size/2 + sixth*segment
+			n = b.N(segment)
+			for k := 0; k < n; k++ {
+				i := base + k
+				t.Read(signal, i*2)
+				t.Read(signal, i*2+1)
+				t.Compute(9)
+				t.Write(signal, i*2)
+				t.Write(signal, i*2+1)
+			}
+		}
+	})
+}
+
+// reverseBits reverses the low `bits` bits of v.
+func reverseBits(v, bits int) int {
+	out := 0
+	for i := 0; i < bits; i++ {
+		out = out<<1 | (v>>i)&1
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package workload
+
+// Gauss models the Presto Gaussian elimination program: the suite's
+// largest thread count (the paper reports 127 threads, the most of any
+// application). Each thread owns one matrix row and applies every earlier
+// pivot's elimination step to it: reads of the pivot rows are shared by
+// *all* threads — the paper's example of an application "whose threads all
+// shared the same data", i.e. perfectly uniform sharing that gives
+// sharing-based placement nothing to exploit — while writes stay in the
+// owned row, keeping runtime coherence traffic small. Work grows
+// quadratically with the row index, giving the large length deviation.
+//
+// Table 2 targets: 127 threads, ~85% thread-length deviation, ~95% shared
+// references.
+
+func gauss() App {
+	return App{
+		Name:        "Gauss",
+		Grain:       Medium,
+		Threads:     127,
+		CacheSize:   64 << 10,
+		Description: "Gaussian elimination with one thread per matrix row",
+		build:       buildGauss,
+	}
+}
+
+func buildGauss(b *builder) {
+	const (
+		order = 127
+		// stride pads rows to a whole number of cache lines; the paper
+		// notes its programs' shared data was laid out (or restructured)
+		// to eliminate false sharing, and unpadded 127-word rows would
+		// false-share their boundary blocks between adjacent row owners.
+		stride = 128
+	)
+	matrix := b.Shared(order * stride)
+	pivotScale := b.Shared(order)
+
+	b.EachThread(func(t *T) {
+		multipliers := b.Private(t.ID, 8)
+		row := t.ID
+
+		for j := 0; j < row; j++ {
+			// multiplier = A[row][j] / pivotScale[j]; the pivot scale
+			// and pivot row are read-shared by every later row.
+			t.Read(matrix, row*stride+j)
+			t.Read(pivotScale, j)
+			t.Compute(4)
+			t.Write(multipliers, j%8)
+
+			// Eliminate: read the pivot row, update the owned row over
+			// the lower-triangular span.
+			cols := b.N(row - j + 2)
+			for c := 0; c < cols; c++ {
+				col := (j + 1 + c) % order
+				t.Read(matrix, j*stride+col) // pivot row: read by all
+				t.Read(matrix, row*stride+col)
+				t.Compute(3)
+				t.Write(matrix, row*stride+col)
+			}
+		}
+		// Publish this row's pivot scale for later rows.
+		t.Read(matrix, row*stride+row)
+		t.Compute(6)
+		t.Write(pivotScale, row)
+
+		// Residual check: every thread scans the whole matrix once to
+		// verify its row against the factorization — the whole-matrix
+		// read sharing that makes Gauss the paper's example of threads
+		// that "all shared the same data" (uniform sharing).
+		n := b.N(order * stride / 8)
+		for i := 0; i < n; i++ {
+			t.Read(matrix, (i*7+row)%(order*stride))
+			if i%4 == 0 {
+				t.Read(multipliers, i%8)
+			}
+			t.Compute(2)
+		}
+	})
+}

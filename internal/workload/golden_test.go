@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestCharacteristicsGolden pins the exact measured characteristics of the
+// whole suite at the default parameters. Workload generation is fully
+// deterministic, so any drift — an accidental kernel edit, a substrate
+// change that shifts addresses — shows up as a diff against the golden
+// file. Regenerate deliberately with: go test ./internal/workload -update
+func TestCharacteristicsGolden(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# app threads refs instr pairMean pairDev pctShared lenDev\n")
+	for _, a := range Apps() {
+		tr, err := a.Build(DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := analysis.Analyze(tr).Characteristics(nil)
+		fmt.Fprintf(&b, "%s %d %d %d %.1f %.1f %.2f %.2f\n",
+			a.Name, a.Threads, tr.TotalRefs(), tr.TotalInstructions(),
+			c.Pairwise.Mean, c.Pairwise.Dev, c.PctSharedRefs, c.Length.Dev)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "characteristics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("workload characteristics drifted from golden file.\n--- got ---\n%s--- want ---\n%s"+
+			"(if the change is intentional, regenerate with -update and revisit EXPERIMENTS.md)",
+			got, want)
+	}
+}

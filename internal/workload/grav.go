@@ -1,0 +1,68 @@
+package workload
+
+// Grav models the Presto implementation of the Barnes-Hut clustering
+// algorithm. Like the SPLASH Barnes-Hut it read-shares body positions
+// widely and writes locally, but the Presto version's dynamic cluster
+// assignment leaves thread work markedly uneven.
+//
+// Table 2 targets: 48 threads, ~39% thread-length deviation, ~98% shared
+// references.
+
+func grav() App {
+	return App{
+		Name:        "Grav",
+		Grain:       Medium,
+		Threads:     48,
+		CacheSize:   64 << 10,
+		Description: "Presto Barnes-Hut gravitational clustering",
+		build:       buildGrav,
+	}
+}
+
+func buildGrav(b *builder) {
+	const (
+		bodiesPerThread = 10
+		baseSweep       = 40 // partner positions examined per body
+	)
+	nbodies := bodiesPerThread * b.app.Threads
+	pos := b.Shared(nbodies * 2)
+	clusterSum := b.Shared(b.app.Threads * 4) // per-cluster centroids
+
+	b.EachThread(func(t *T) {
+		// Cluster populations are uneven: triangular distribution gives
+		// the target ~40% deviation.
+		sweep := b.N(baseSweep/2 + t.Intn(baseSweep) + t.Intn(baseSweep)/2)
+		zone := t.ID * bodiesPerThread
+
+		for m := 0; m < bodiesPerThread; m++ {
+			body := zone + m
+			t.Read(pos, body*2)
+			t.Read(pos, body*2+1)
+			for k := 0; k < sweep; k++ {
+				// Distance checks against bodies across the whole
+				// system (uniform read sharing).
+				other := (body + 1 + k*11) % nbodies
+				t.Read(pos, other*2)
+				t.Read(pos, other*2+1)
+				t.Compute(6)
+			}
+			// Fold the body into this thread's cluster centroid.
+			t.Read(clusterSum, t.ID*4)
+			t.Compute(5)
+			t.Write(clusterSum, t.ID*4)
+			t.Write(clusterSum, t.ID*4+1)
+		}
+		// Publish final centroid components, then scan neighbouring
+		// clusters for merge candidates — the reads of freshly written
+		// remote centroids are Grav's runtime coherence traffic.
+		t.Compute(8)
+		t.Write(clusterSum, t.ID*4+2)
+		t.Write(clusterSum, t.ID*4+3)
+		for k := 1; k <= 6; k++ {
+			peer := (t.ID + k) % b.app.Threads
+			t.Read(clusterSum, peer*4)
+			t.Read(clusterSum, peer*4+1)
+			t.Compute(5)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package workload
+
+// Health models the Presto discrete simulation of a distributed health
+// care system: villages with doctors and patients, where serious cases are
+// referred up to shared regional hospitals. Village populations follow a
+// heavy-tailed distribution, so thread lengths vary enormously — the
+// second largest deviation in the suite.
+//
+// Table 2 targets: 64 threads, ~95% thread-length deviation, ~94% shared
+// references.
+
+func health() App {
+	return App{
+		Name:        "Health",
+		Grain:       Medium,
+		Threads:     64,
+		CacheSize:   32 << 10, // the paper simulates Health with 32 KB
+		Description: "discrete simulation of doctors, patients and health centres",
+		build:       buildHealth,
+	}
+}
+
+func buildHealth(b *builder) {
+	const (
+		patientWords = 3
+		basePatients = 24
+		visitsEach   = 6
+	)
+	n := b.app.Threads
+	// Each village's patient list is an owned slice of shared memory;
+	// the regional hospital queues are shared hot spots.
+	patients := b.Shared(n * basePatients * 8 * patientWords)
+	hospitals := b.Shared(16 * 32)
+
+	b.EachThread(func(t *T) {
+		caseNotes := b.Private(t.ID, 64)
+
+		// Heavy-tailed village size: most villages are small, a few are
+		// an order of magnitude larger.
+		pop := basePatients/2 + t.Intn(basePatients)
+		if t.Intn(10) == 0 {
+			pop *= 8
+		}
+		pop = b.N(pop)
+		villageBase := t.ID * basePatients * 8 * patientWords
+
+		for p := 0; p < pop; p++ {
+			slot := villageBase + (p%(basePatients*8))*patientWords
+			for v := 0; v < visitsEach; v++ {
+				// Examine the patient record.
+				t.Read(patients, slot)
+				t.Read(patients, slot+1)
+				t.Compute(7)
+				t.Write(patients, slot+2) // update condition
+				if t.Intn(12) == 0 {
+					// Refer to the regional hospital: contended queue.
+					hq := (t.ID / 4) % 16
+					t.Read(hospitals, hq*32)
+					t.Compute(4)
+					t.Write(hospitals, hq*32+1+t.Intn(30))
+				}
+				if (p+v)%4 == 0 {
+					t.Write(caseNotes, (p+v)%64)
+				}
+				t.Compute(5)
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Structural invariants of individual kernels: the ownership disciplines
+// each kernel's documentation claims, checked on the actual traces.
+
+// sharedWrites returns, per thread, the set of shared addresses written.
+func sharedWrites(tr *trace.Trace) []map[uint64]bool {
+	out := make([]map[uint64]bool, tr.NumThreads())
+	for i, th := range tr.Threads {
+		out[i] = make(map[uint64]bool)
+		for c := th.Cursor(); ; {
+			e, ok := c.Next()
+			if !ok {
+				break
+			}
+			if e.Kind == trace.Write && trace.IsShared(e.Addr) {
+				out[i][e.Addr] = true
+			}
+		}
+	}
+	return out
+}
+
+func build(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	a, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := a.Build(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestWaterOwnerWrites: Water threads write only their own molecules'
+// positions and nothing else in the shared segment — the phase-local
+// write discipline §4.2 describes.
+func TestWaterOwnerWrites(t *testing.T) {
+	tr := build(t, "Water")
+	writes := sharedWrites(tr)
+	for a, wa := range writes {
+		for b, wb := range writes {
+			if a >= b {
+				continue
+			}
+			for addr := range wa {
+				if wb[addr] {
+					t.Fatalf("threads %d and %d both write shared %#x", a, b, addr)
+				}
+			}
+		}
+	}
+}
+
+// TestGaussRowOwnership: each Gauss thread writes only its own matrix row
+// and its own pivot-scale slot.
+func TestGaussRowOwnership(t *testing.T) {
+	tr := build(t, "Gauss")
+	writes := sharedWrites(tr)
+	for a := range writes {
+		for b := a + 1; b < len(writes); b++ {
+			for addr := range writes[a] {
+				if writes[b][addr] {
+					t.Fatalf("Gauss threads %d and %d both write %#x", a, b, addr)
+				}
+			}
+		}
+	}
+}
+
+// TestFFTHalves: FFT small tasks stay in the upper half of the signal
+// array except through the read-shared twiddle table; only big tasks
+// write the lower half.
+func TestFFTHalves(t *testing.T) {
+	tr := build(t, "FFT")
+	const size = 2048
+	// The signal array is the first shared allocation.
+	signalEnd := trace.SharedBase + uint64(size*2)*trace.WordSize
+	lowerEnd := trace.SharedBase + uint64(size)*trace.WordSize // points 0..1023
+
+	nsmall := tr.NumThreads() - 6
+	for tid := 0; tid < nsmall; tid++ {
+		for c := tr.Threads[tid].Cursor(); ; {
+			e, ok := c.Next()
+			if !ok {
+				break
+			}
+			if e.Kind != trace.Write || !trace.IsShared(e.Addr) {
+				continue
+			}
+			if e.Addr < lowerEnd && e.Addr < signalEnd {
+				t.Fatalf("small task %d writes the big tasks' lower half at %#x", tid, e.Addr)
+			}
+		}
+	}
+}
+
+// TestCholeskyMostlyPrivate: Cholesky's defining property is its tiny
+// shared fraction — the heavy panel updates must be private.
+func TestCholeskyMostlyPrivate(t *testing.T) {
+	tr := build(t, "Cholesky")
+	var shared, total uint64
+	for _, th := range tr.Threads {
+		for c := th.Cursor(); ; {
+			e, ok := c.Next()
+			if !ok {
+				break
+			}
+			total++
+			if trace.IsShared(e.Addr) {
+				shared++
+			}
+		}
+	}
+	if frac := float64(shared) / float64(total); frac > 0.3 {
+		t.Errorf("Cholesky shared fraction %.2f — panel work leaked into shared memory?", frac)
+	}
+}
+
+// TestFullconnMailboxDiscipline: thread i writes only row i of the mailbox
+// matrix (its outgoing slots) and its own status/seqno words.
+func TestFullconnMailboxDiscipline(t *testing.T) {
+	tr := build(t, "Fullconn")
+	n := tr.NumThreads()
+	const payload = 4
+	// mailbox is the first shared allocation: n*n*payload words.
+	mailboxEnd := trace.SharedBase + uint64(n*n*payload)*trace.WordSize
+	for tid, th := range tr.Threads {
+		rowLo := trace.SharedBase + uint64(tid*n*payload)*trace.WordSize
+		rowHi := trace.SharedBase + uint64((tid+1)*n*payload)*trace.WordSize
+		for c := th.Cursor(); ; {
+			e, ok := c.Next()
+			if !ok {
+				break
+			}
+			if e.Kind != trace.Write || !trace.IsShared(e.Addr) || e.Addr >= mailboxEnd {
+				continue
+			}
+			if e.Addr < rowLo || e.Addr >= rowHi {
+				t.Fatalf("thread %d writes mailbox slot %#x outside its row", tid, e.Addr)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package workload
+
+// LocusRoute models the commercial-quality VLSI standard-cell router of
+// the paper's suite. The shared data is the global routing-cost grid; each
+// thread routes a set of wires, exploring candidate paths (reading grid
+// cost cells) and committing the best path (writing its cells). Wires are
+// spatially partitioned so most grid traffic stays in a thread's own
+// region with occasional crossings into neighbouring regions.
+//
+// Table 2 targets: 32 threads, thread-length deviation ~15%, ~57% shared
+// references, moderately non-uniform pairwise sharing.
+
+func locusRoute() App {
+	return App{
+		Name:        "LocusRoute",
+		Grain:       Coarse,
+		Threads:     32,
+		CacheSize:   32 << 10,
+		Description: "VLSI standard-cell router over a shared routing-cost grid",
+		build:       buildLocusRoute,
+	}
+}
+
+func buildLocusRoute(b *builder) {
+	const (
+		gridSide   = 96 // routing grid is gridSide x gridSide cost cells
+		baseWires  = 42 // wires per thread before jitter
+		minWireLen = 8
+		maxWireLen = 26
+	)
+	grid := b.Shared(gridSide * gridSide)
+	nets := b.Shared(b.app.Threads * baseWires * 2) // terminal pairs
+	region := gridSide * gridSide / b.app.Threads   // cells per thread region
+
+	b.EachThread(func(t *T) {
+		scratch := 256
+		wireBuf := b.Private(t.ID, scratch) // candidate path buffer
+		costBuf := b.Private(t.ID, scratch) // per-candidate cost accumulators
+		home := t.ID * region               // this thread's grid region origin
+
+		// Thread-length jitter: +-25% wire count gives ~15% length dev.
+		wires := b.N(baseWires + t.Intn(baseWires/2) - baseWires/4)
+		for w := 0; w < wires; w++ {
+			// Fetch the wire's terminals from the shared net list.
+			t.Read(nets, t.ID*baseWires*2+w*2)
+			t.Read(nets, t.ID*baseWires*2+w*2+1)
+			t.Compute(12)
+
+			wireLen := minWireLen + t.Intn(maxWireLen-minWireLen)
+			// 1 in 6 wires crosses into the next thread's region.
+			origin := home
+			if t.Intn(6) == 0 {
+				origin = ((t.ID + 1) % b.app.Threads) * region
+			}
+
+			// Explore two candidate paths cell by cell.
+			for cand := 0; cand < 2; cand++ {
+				start := origin + t.Intn(region)
+				for c := 0; c < wireLen; c++ {
+					cell := start + cand*(gridSide/2) + c
+					t.Read(grid, cell)          // current congestion cost
+					t.Write(costBuf, c%scratch) // accumulate candidate cost
+					t.Compute(5)
+				}
+				t.Compute(8) // compare candidate totals
+			}
+
+			// Commit the chosen path: bump the cost of each cell.
+			start := origin + t.Intn(region)
+			for c := 0; c < wireLen; c++ {
+				cell := start + c
+				t.Read(grid, cell)
+				t.Write(grid, cell)
+				t.Read(wireBuf, c%scratch)
+				t.Compute(4)
+			}
+			t.Compute(10) // record the route in private wire state
+			t.Write(wireBuf, w%scratch)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package workload
+
+// MP3D models the SPLASH rarefied hypersonic-flow simulator. Particles are
+// statically owned by threads, but every particle move reads and updates
+// the shared space-cell array it flies through — the scattered write
+// sharing that makes MP3D the classic coherence-traffic stress test.
+//
+// Table 2 targets: 32 threads, near-zero thread-length deviation, ~83%
+// shared references.
+
+func mp3d() App {
+	return App{
+		Name:        "MP3D",
+		Grain:       Coarse,
+		Threads:     32,
+		CacheSize:   32 << 10,
+		Description: "rarefied hypersonic flow: particles moving through shared space cells",
+		build:       buildMP3D,
+	}
+}
+
+func buildMP3D(b *builder) {
+	const (
+		particlesPerThread = 24
+		steps              = 8
+		cells              = 2048
+	)
+	nparticles := particlesPerThread * b.app.Threads
+	particles := b.Shared(nparticles * 3) // position, velocity, energy
+	space := b.Shared(cells)              // per-cell population/collision state
+	reservoir := b.Shared(64)             // global boundary-condition state
+
+	b.EachThread(func(t *T) {
+		local := b.Private(t.ID, 128)
+		own := t.ID * particlesPerThread
+
+		for s := 0; s < steps; s++ {
+			moves := b.N(60)
+			for mv := 0; mv < moves; mv++ {
+				p := own + mv%particlesPerThread
+				// Read own particle state (shared segment, owned slice).
+				t.Read(particles, p*3)
+				t.Read(particles, p*3+1)
+				t.Compute(11) // advance position
+
+				// The particle drifts through cells near its owner's
+				// spatial region, occasionally crossing into the next
+				// region (real MP3D particles have strong spatial
+				// locality; wholly random cells would exaggerate
+				// coherence traffic by an order of magnitude).
+				region := cells / b.app.Threads
+				cell := t.ID*region + (p*3+mv+s*7)%region
+				if t.Intn(8) == 0 {
+					// Fast particles land in a uniformly random other
+					// region: sharing is spread evenly over all thread
+					// pairs, so no placement can co-locate it away.
+					cell = t.Intn(b.app.Threads)*region + (p+mv)%region
+				}
+				t.Read(space, cell)
+				t.Compute(6)
+				t.Write(space, cell) // update cell population
+
+				// Occasional collision against the cell's partner
+				// particle and the global reservoir.
+				if t.Intn(4) == 0 {
+					t.Read(reservoir, cell%64)
+					t.Compute(8)
+					t.Write(particles, p*3+2)
+				}
+				// Write back own particle.
+				t.Write(particles, p*3)
+				t.Write(particles, p*3+1)
+				t.Read(local, mv%128)
+				t.Compute(3)
+			}
+		}
+	})
+}

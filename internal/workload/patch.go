@@ -1,0 +1,70 @@
+package workload
+
+// Patch models the Presto radiosity program: every thread computes form
+// factors for its own scene patches against the read-shared scene
+// geometry and accumulates energy into its own radiosity slots. Patch
+// visibility varies by scene position, skewing thread lengths.
+//
+// Table 2 targets: 64 threads, ~59% thread-length deviation, ~97% shared
+// references, very low pairwise-sharing deviation (uniform read sharing of
+// the whole scene).
+
+func patch() App {
+	return App{
+		Name:        "Patch",
+		Grain:       Medium,
+		Threads:     64,
+		CacheSize:   64 << 10,
+		Description: "radiosity form-factor computation over a shared scene",
+		build:       buildPatch,
+	}
+}
+
+func buildPatch(b *builder) {
+	const (
+		patchesPerThread = 6
+		geomWords        = 4 // vertices + normal per patch
+		baseSamples      = 30
+	)
+	npatch := patchesPerThread * b.app.Threads
+	geometry := b.Shared(npatch * geomWords)
+	radiosity := b.Shared(npatch)
+
+	b.EachThread(func(t *T) {
+		rayBuf := b.Private(t.ID, 32)
+		own := t.ID * patchesPerThread
+
+		// Visibility-driven skew: samples per patch vary 4x across
+		// threads plus per-thread noise.
+		samples := b.N(baseSamples/3 + t.Intn(baseSamples) + t.Intn(baseSamples))
+
+		for p := 0; p < patchesPerThread; p++ {
+			patch := own + p
+			// Load own patch geometry.
+			for w := 0; w < geomWords; w++ {
+				t.Read(geometry, patch*geomWords+w)
+			}
+			for s := 0; s < samples; s++ {
+				// Sample a target patch anywhere in the scene; its
+				// geometry is immutable and read-shared by everyone.
+				target := (patch*13 + s*7 + 1) % npatch
+				t.Read(geometry, target*geomWords)
+				t.Read(geometry, target*geomWords+1)
+				// Radiosity energy is gathered only from nearby
+				// patches (far interactions use the geometry alone).
+				if s%4 == 0 {
+					near := (patch + s%16 - 8 + npatch) % npatch
+					t.Read(radiosity, near)
+				}
+				t.Compute(9) // form factor + occlusion test
+				if s%8 == 0 {
+					t.Write(rayBuf, s%32)
+				}
+			}
+			// Accumulate into our own radiosity slot (owned shared).
+			t.Read(radiosity, patch)
+			t.Compute(6)
+			t.Write(radiosity, patch)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package workload
+
+// Pverify models the boolean-circuit equivalence checker of the suite.
+// The circuit graph (gate types and fanin lists) lives in shared memory,
+// restructured for locality as the paper notes (compiler-restructured to
+// eliminate false sharing); threads evaluate test branches with randomized
+// depth-first walks whose lengths vary widely, giving the suite's largest
+// coarse-grain thread-length deviation.
+//
+// Table 2 targets: 32 threads, ~23% thread-length deviation, ~92% shared
+// references.
+
+func pverify() App {
+	return App{
+		Name:        "Pverify",
+		Grain:       Coarse,
+		Threads:     32,
+		CacheSize:   32 << 10,
+		Description: "boolean circuit equivalence checking by branch enumeration",
+		build:       buildPverify,
+	}
+}
+
+func buildPverify(b *builder) {
+	const (
+		gates    = 4096
+		fanin    = 3
+		branches = 26
+	)
+	gateType := b.Shared(gates)
+	fanins := b.Shared(gates * fanin)
+	outputs := b.Shared(b.app.Threads * 8) // per-thread verdict slots
+
+	b.EachThread(func(t *T) {
+		visited := b.Private(t.ID, 96)
+
+		// Branch counts vary with the circuit region: +-45%.
+		n := b.N(branches + t.Intn(branches) - branches/2)
+		for br := 0; br < n; br++ {
+			// Start the walk at a gate in the thread's input cone, with
+			// cones overlapping neighbouring threads'.
+			g := (t.ID*gates/b.app.Threads + t.Intn(gates/4)) % gates
+			depth := 20 + t.Intn(60)
+			for d := 0; d < depth; d++ {
+				t.Read(gateType, g)
+				// Evaluate the gate: read every fanin.
+				for f := 0; f < fanin; f++ {
+					t.Read(fanins, g*fanin+f)
+				}
+				t.Compute(7)
+				if d%8 == 0 {
+					t.Write(visited, d%96)
+				}
+				// Follow a fanin edge deeper into the circuit.
+				g = (g*5 + d*13 + 1) % gates
+			}
+			// Publish the branch verdict and cross-check against a
+			// neighbour's published verdicts (runtime coherence
+			// traffic between adjacent threads).
+			t.Compute(9)
+			t.Write(outputs, t.ID*8+br%8)
+			if br%4 == 0 {
+				peer := (t.ID + 1) % b.app.Threads
+				t.Read(outputs, peer*8+br%8)
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package workload
+
+import "fmt"
+
+// SyntheticSpec describes a parameterized application whose program
+// characteristics — the quantities Table 2 measures — are set directly
+// rather than emerging from an algorithm. The paper attributes its
+// negative result to specific characteristics of real programs (uniform
+// and sequential sharing, low thread-length deviation mattering less than
+// load balance); a synthetic workload lets each characteristic be swept in
+// isolation to test exactly where the paper's conclusion holds and where
+// it breaks down.
+type SyntheticSpec struct {
+	// Name labels the generated trace.
+	Name string
+	// Threads is the thread count (>= 2).
+	Threads int
+	// WorkUnits is the base number of work units per thread; each unit
+	// is a handful of references plus computation.
+	WorkUnits int
+	// LengthSkew sets thread-length inequality: 0 gives uniform
+	// lengths; s gives lengths spread uniformly over [1, 1+2s] x base
+	// (deviation grows with s).
+	LengthSkew float64
+	// SharedFrac is the probability a unit's references target shared
+	// data (the rest go to private scratch).
+	SharedFrac float64
+	// WriteFrac is the probability a shared access run ends in a write.
+	WriteFrac float64
+	// Uniformity selects who shares with whom: 1.0 sends every shared
+	// access to the globally shared region (all pairs share equally —
+	// the paper's workload); 0.0 sends them to per-neighbour-pair
+	// regions (strongly pairwise sharing — the best case for
+	// sharing-based placement).
+	Uniformity float64
+	// RunLength is the number of consecutive references a thread makes
+	// to a shared datum before moving on (the paper's "sequential
+	// sharing": high run lengths produce little coherence traffic).
+	RunLength int
+	// SharedWords sizes the globally shared region.
+	SharedWords int
+}
+
+// DefaultSyntheticSpec mirrors the paper's workload shape: uniform
+// sequential sharing, moderate shared fraction, mild length skew.
+func DefaultSyntheticSpec() SyntheticSpec {
+	return SyntheticSpec{
+		Name:        "Synthetic",
+		Threads:     32,
+		WorkUnits:   400,
+		LengthSkew:  0.15,
+		SharedFrac:  0.7,
+		WriteFrac:   0.25,
+		Uniformity:  1.0,
+		RunLength:   6,
+		SharedWords: 8192,
+	}
+}
+
+// Validate reports the first problem with the spec.
+func (sp SyntheticSpec) Validate() error {
+	switch {
+	case sp.Threads < 2:
+		return fmt.Errorf("workload: synthetic needs >= 2 threads, got %d", sp.Threads)
+	case sp.WorkUnits < 1:
+		return fmt.Errorf("workload: synthetic needs >= 1 work unit")
+	case sp.SharedFrac < 0 || sp.SharedFrac > 1:
+		return fmt.Errorf("workload: shared fraction %v outside [0,1]", sp.SharedFrac)
+	case sp.WriteFrac < 0 || sp.WriteFrac > 1:
+		return fmt.Errorf("workload: write fraction %v outside [0,1]", sp.WriteFrac)
+	case sp.Uniformity < 0 || sp.Uniformity > 1:
+		return fmt.Errorf("workload: uniformity %v outside [0,1]", sp.Uniformity)
+	case sp.RunLength < 1:
+		return fmt.Errorf("workload: run length must be >= 1")
+	case sp.LengthSkew < 0:
+		return fmt.Errorf("workload: negative length skew")
+	case sp.SharedWords < sp.Threads:
+		return fmt.Errorf("workload: shared region smaller than thread count")
+	}
+	return nil
+}
+
+// Synthetic returns an App generating traces for the spec.
+func Synthetic(sp SyntheticSpec) (App, error) {
+	if err := sp.Validate(); err != nil {
+		return App{}, err
+	}
+	return App{
+		Name:        sp.Name,
+		Grain:       Medium,
+		Threads:     sp.Threads,
+		CacheSize:   32 << 10,
+		Description: "parameterized synthetic workload",
+		build:       func(b *builder) { buildSynthetic(b, sp) },
+	}, nil
+}
+
+func buildSynthetic(b *builder, sp SyntheticSpec) {
+	global := b.Shared(sp.SharedWords)
+	// One region per adjacent thread pair: pairRegions[i] is shared by
+	// threads i and (i+1) mod Threads.
+	const pairWords = 256
+	pair := make([]Region, sp.Threads)
+	for i := range pair {
+		pair[i] = b.Shared(pairWords)
+	}
+
+	b.EachThread(func(t *T) {
+		scratch := b.Private(t.ID, 512)
+
+		units := float64(sp.WorkUnits) * (1 + 2*sp.LengthSkew*t.Float64())
+		n := b.N(int(units))
+		for u := 0; u < n; u++ {
+			if t.Float64() < sp.SharedFrac {
+				// A shared access run: RunLength consecutive touches
+				// of a drifting address, ending in a write with
+				// probability WriteFrac (sequential sharing).
+				var reg Region
+				var base int
+				if t.Float64() < sp.Uniformity {
+					// Uniformly random position: every thread pair
+					// shares the whole global region equally.
+					reg = global
+					base = t.Intn(sp.SharedWords - sp.RunLength)
+				} else if t.Intn(2) == 0 {
+					reg = pair[t.ID]
+					base = (u * 7) % pairWords
+				} else {
+					reg = pair[(t.ID+sp.Threads-1)%sp.Threads]
+					base = (u * 11) % pairWords
+				}
+				for k := 0; k < sp.RunLength; k++ {
+					last := k == sp.RunLength-1
+					if last && t.Float64() < sp.WriteFrac {
+						t.Write(reg, base+k/2)
+					} else {
+						t.Read(reg, base+k/2)
+					}
+					t.Compute(4)
+				}
+			} else {
+				// Private work.
+				for k := 0; k < sp.RunLength; k++ {
+					if k%3 == 2 {
+						t.Write(scratch, (u+k)%512)
+					} else {
+						t.Read(scratch, (u+k)%512)
+					}
+					t.Compute(4)
+				}
+			}
+			t.Compute(6)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestSyntheticSpecValidation(t *testing.T) {
+	if err := DefaultSyntheticSpec().Validate(); err != nil {
+		t.Errorf("default spec rejected: %v", err)
+	}
+	bad := []func(*SyntheticSpec){
+		func(s *SyntheticSpec) { s.Threads = 1 },
+		func(s *SyntheticSpec) { s.WorkUnits = 0 },
+		func(s *SyntheticSpec) { s.SharedFrac = 1.5 },
+		func(s *SyntheticSpec) { s.WriteFrac = -0.1 },
+		func(s *SyntheticSpec) { s.Uniformity = 2 },
+		func(s *SyntheticSpec) { s.RunLength = 0 },
+		func(s *SyntheticSpec) { s.LengthSkew = -1 },
+		func(s *SyntheticSpec) { s.SharedWords = 4 },
+	}
+	for i, mut := range bad {
+		sp := DefaultSyntheticSpec()
+		mut(&sp)
+		if _, err := Synthetic(sp); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestSyntheticSharedFraction(t *testing.T) {
+	for _, frac := range []float64{0.2, 0.7, 0.95} {
+		sp := DefaultSyntheticSpec()
+		sp.SharedFrac = frac
+		app, err := Synthetic(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := app.Build(DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := analysis.Analyze(tr).Characteristics(nil)
+		if got := c.PctSharedRefs / 100; got < frac-0.12 || got > frac+0.12 {
+			t.Errorf("SharedFrac %v: measured %.2f", frac, got)
+		}
+	}
+}
+
+func TestSyntheticLengthSkew(t *testing.T) {
+	flat := DefaultSyntheticSpec()
+	flat.LengthSkew = 0
+	skewed := DefaultSyntheticSpec()
+	skewed.LengthSkew = 1.0
+
+	devOf := func(sp SyntheticSpec) float64 {
+		app, err := Synthetic(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := app.Build(DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return analysis.Analyze(tr).Characteristics(nil).Length.Dev
+	}
+	if d := devOf(flat); d > 3 {
+		t.Errorf("zero skew gives length dev %.1f%%, want ~0", d)
+	}
+	if d := devOf(skewed); d < 20 {
+		t.Errorf("skew 1.0 gives length dev %.1f%%, want substantial", d)
+	}
+}
+
+func TestSyntheticUniformityShapesPairwiseSharing(t *testing.T) {
+	devOf := func(u float64) float64 {
+		sp := DefaultSyntheticSpec()
+		sp.Uniformity = u
+		app, err := Synthetic(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := app.Build(DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return analysis.Analyze(tr).Characteristics(nil).Pairwise.Dev
+	}
+	uniform := devOf(1.0)
+	pairwise := devOf(0.0)
+	// Neighbour-structured sharing concentrates on few pairs: its
+	// pairwise deviation must far exceed the uniform case's.
+	if pairwise < uniform*2 {
+		t.Errorf("pairwise dev %.0f%% not clearly above uniform dev %.0f%%", pairwise, uniform)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	sp := DefaultSyntheticSpec()
+	app, err := Synthetic(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := app.Build(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := app.Build(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalInstructions() != b.TotalInstructions() || a.TotalRefs() != b.TotalRefs() {
+		t.Error("synthetic generation not deterministic")
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+// Topopt models the topological-optimization CAD tool: simulated annealing
+// over a shared VLSI circuit. Each thread anneals moves within its own
+// circuit partition (the paper notes the shared data was restructured for
+// locality), evaluating a move by reading a handful of shared nodes and
+// committing accepted moves with shared writes; per-move bookkeeping
+// (cost tables, RNG state) is private, which pulls the shared fraction
+// down to about half.
+//
+// Table 2 targets: 32 threads, ~0% thread-length deviation, ~51% shared
+// references, and the suite's least uniform N-way sharing.
+
+func topopt() App {
+	return App{
+		Name:        "Topopt",
+		Grain:       Coarse,
+		Threads:     32,
+		CacheSize:   32 << 10,
+		Description: "simulated annealing for topological optimization of a shared circuit",
+		build:       buildTopopt,
+	}
+}
+
+func buildTopopt(b *builder) {
+	const (
+		nodes        = 6144
+		movesPerTemp = 40
+		temps        = 4
+	)
+	circuit := b.Shared(nodes)
+	netWeights := b.Shared(nodes / 2)
+	annealState := b.Shared(16) // global temperature & statistics, read-shared
+	partition := nodes / b.app.Threads
+
+	b.EachThread(func(t *T) {
+		costTable := b.Private(t.ID, 256)
+		moveLog := b.Private(t.ID, 128)
+		home := t.ID * partition
+
+		for temp := 0; temp < temps; temp++ {
+			moves := b.N(movesPerTemp)
+			for mv := 0; mv < moves; mv++ {
+				// Pick two nodes: mostly within the partition, with a
+				// small temperature-dependent chance of a far swap into
+				// a specific peer partition (pairwise-structured
+				// sharing, hence the non-uniform N-way values).
+				a := home + t.Intn(partition)
+				bNode := home + t.Intn(partition)
+				if t.Intn(5+temp*3) == 0 {
+					peer := (t.ID + 1 + t.Intn(3)) % b.app.Threads
+					bNode = peer*partition + t.Intn(partition)
+				}
+
+				// Evaluate the swap: read both nodes, their nets, and the
+				// global annealing temperature.
+				t.Read(circuit, a)
+				t.Read(circuit, bNode)
+				t.Read(netWeights, a/2)
+				t.Read(netWeights, bNode/2)
+				t.Read(annealState, temp*4)
+				t.Compute(9)
+
+				// Private cost model lookups dominate the bookkeeping.
+				for k := 0; k < 4; k++ {
+					t.Read(costTable, (a+k*37)%256)
+				}
+				t.Write(moveLog, mv%128)
+				t.Compute(8)
+
+				// Accept roughly half the moves: commit with writes.
+				if (a+bNode+mv)%2 == 0 {
+					t.Write(circuit, a)
+					t.Write(circuit, bNode)
+					t.Compute(4)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package workload
+
+// Vandermonde models the Presto sequence of matrix operations over a set
+// of Vandermonde systems (Newton divided-difference solves). Each thread
+// owns one row of the coefficient triangle: computing row k requires the
+// results of every earlier stage j < k, so per-thread work ramps
+// quadratically — the large thread-length deviation the paper reports —
+// while nearly every reference is to the shared matrices, interpolation
+// points and staged coefficients, which all threads read uniformly.
+//
+// Table 2 targets: 48 threads, ~80% thread-length deviation, ~99% shared
+// references, low runtime coherence (each row is written only by its
+// owner).
+
+func vandermonde() App {
+	return App{
+		Name:        "Vandermonde",
+		Grain:       Medium,
+		Threads:     48,
+		CacheSize:   64 << 10,
+		Description: "staged Vandermonde system solves over shared matrices",
+		build:       buildVandermonde,
+	}
+}
+
+func buildVandermonde(b *builder) {
+	const (
+		order    = 48 // matrix order == thread count
+		matrices = 5
+	)
+	matrix := b.Shared(matrices * order * order)
+	alphas := b.Shared(order)            // interpolation points, read by all
+	coeffs := b.Shared(matrices * order) // staged coefficients, one owner per row
+
+	b.EachThread(func(t *T) {
+		k := t.ID
+		for m := 0; m < matrices; m++ {
+			// Row k's divided differences: stage j consumes the
+			// published coefficients of stages < j along columns up to
+			// k — a quadratic, lower-triangular work ramp.
+			for j := 0; j < k; j++ {
+				t.Read(alphas, j)
+				t.Read(alphas, k)
+				cols := b.N(k - j)
+				for c := 0; c < cols; c++ {
+					t.Read(matrix, m*order*order+k*order+(j+c)%order)
+					t.Read(coeffs, m*order+j)
+					t.Compute(4)
+				}
+				t.Compute(5)
+			}
+			// Publish row k's coefficient (sole writer of this slot).
+			t.Read(matrix, m*order*order+k*order+k)
+			t.Compute(6)
+			t.Write(coeffs, m*order+k)
+		}
+	})
+}

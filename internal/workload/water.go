@@ -1,0 +1,72 @@
+package workload
+
+// Water models the SPLASH molecular-dynamics code: the evolution of a
+// system of water molecules. Molecule state (position vectors) lives in
+// shared memory and is read-shared by every thread during the O(n^2/2)
+// force computation; each thread integrates and writes back only its own
+// molecules at the end of a time step — the sequential, phase-local write
+// pattern the paper highlights.
+//
+// Table 2 targets: 32 threads, near-uniform thread lengths (dev ~2%),
+// ~72% shared references, uniform pairwise sharing.
+
+func water() App {
+	return App{
+		Name:        "Water",
+		Grain:       Coarse,
+		Threads:     32,
+		CacheSize:   32 << 10,
+		Description: "molecular dynamics over a shared set of water molecules",
+		build:       buildWater,
+	}
+}
+
+func buildWater(b *builder) {
+	const (
+		molsPerThread = 12
+		steps         = 2
+		interactions  = 90 // sampled partner molecules per own molecule
+	)
+	nmol := molsPerThread * b.app.Threads
+	pos := b.Shared(nmol * 3) // x,y,z per molecule
+
+	b.EachThread(func(t *T) {
+		force := b.Private(t.ID, molsPerThread*3)
+		vel := b.Private(t.ID, molsPerThread*3)
+		own := t.ID * molsPerThread
+
+		for s := 0; s < steps; s++ {
+			// Force phase: read-share every partner's position.
+			for m := 0; m < molsPerThread; m++ {
+				mi := own + m
+				t.Read(pos, mi*3)
+				t.Read(pos, mi*3+1)
+				t.Read(pos, mi*3+2)
+				n := b.N(interactions)
+				for k := 0; k < n; k++ {
+					// Deterministic partner stride covers the whole
+					// system uniformly (every pair of threads shares
+					// equally — the paper's "uniform data sharing").
+					pj := (mi + 1 + k*7) % nmol
+					t.Read(pos, pj*3)
+					t.Read(pos, pj*3+1)
+					t.Read(pos, pj*3+2)
+					t.Read(pos, mi*3+k%3)
+					t.Compute(9) // Lennard-Jones terms
+					t.Write(force, (m*3 + k%3))
+				}
+			}
+			// Update phase: integrate and write back own positions only.
+			for m := 0; m < molsPerThread; m++ {
+				mi := own + m
+				t.Read(force, m*3)
+				t.Read(vel, m*3)
+				t.Compute(14)
+				t.Write(vel, m*3)
+				t.Write(pos, mi*3)
+				t.Write(pos, mi*3+1)
+				t.Write(pos, mi*3+2)
+			}
+		}
+	})
+}
