@@ -1,0 +1,34 @@
+# Standard entry points. `make verify` is the CI tier: static vetting plus
+# the full test suite under the race detector (the Suite's lazy caches and
+# concurrent sweeps must stay clean).
+
+GO ?= go
+
+.PHONY: build test verify bench benchsim fuzz golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate BENCH_sim.json: reference vs fast engine throughput plus the
+# memoized-sweep timings.
+benchsim:
+	$(GO) run ./cmd/experiments -benchsim BENCH_sim.json
+
+# Quick fuzz pass over the simulation engines (CI smoke; crank -fuzztime
+# for a real session).
+fuzz:
+	$(GO) test ./internal/sim -fuzz FuzzEngine -fuzztime 30s
+
+# Re-lock the golden files after an intentional result change.
+golden:
+	UPDATE_GOLDEN=1 $(GO) test ./internal/core -run TestGolden

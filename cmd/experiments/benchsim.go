@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// engineBench is one engine's measurement over the benchmark cells.
+type engineBench struct {
+	Seconds         float64 `json:"seconds"`
+	Cells           int     `json:"cells"`
+	CyclesSimulated uint64  `json:"cycles_simulated"`
+	CyclesPerSec    float64 `json:"cycles_per_sec"`
+}
+
+// benchSimReport is the BENCH_sim.json schema: throughput of the
+// reference and fast engines over the same cells, their speedup, and the
+// memoized sweep's first-vs-second-call wall time.
+type benchSimReport struct {
+	App            string      `json:"app"`
+	Scale          float64     `json:"scale"`
+	Seed           int64       `json:"seed"`
+	ProcCounts     []int       `json:"proc_counts"`
+	Algorithms     []string    `json:"algorithms"`
+	Reference      engineBench `json:"reference"`
+	Fast           engineBench `json:"fast"`
+	Speedup        float64     `json:"speedup"`
+	MemoFirstSecs  float64     `json:"memoized_figure_first_call_seconds"`
+	MemoSecondSecs float64     `json:"memoized_figure_second_call_seconds"`
+	MemoSpeedup    float64     `json:"memoized_figure_speedup"`
+	GeneratedBy    string      `json:"generated_by"`
+}
+
+// benchSim times both engines sequentially over every (algorithm,
+// processor-count) cell of the Figure 2 application and writes the
+// comparison to path. Engine calls bypass the suite's memoization so each
+// cell is genuinely re-simulated; a separate pass times the memoized
+// ExecutionFigure sweep itself (first call simulates, second is served
+// from cache).
+func benchSim(scale float64, seed int64, procsSpec, path string) error {
+	pcs, err := parseProcs(procsSpec)
+	if err != nil {
+		return err
+	}
+	const app = "LocusRoute"
+	opts := core.DefaultOptions()
+	opts.Params = workload.Params{Scale: scale, Seed: seed}
+	opts.ProcCounts = pcs
+	s := core.NewSuite(opts)
+
+	rep := benchSimReport{
+		App:         app,
+		Scale:       scale,
+		Seed:        seed,
+		ProcCounts:  pcs,
+		Algorithms:  core.AllAlgorithms(),
+		GeneratedBy: "experiments -benchsim",
+	}
+
+	tr, err := s.Trace(app)
+	if err != nil {
+		return err
+	}
+	measure := func(eng sim.Engine) (engineBench, error) {
+		var b engineBench
+		t0 := time.Now()
+		for _, procs := range pcs {
+			cfg, err := s.Config(app, procs, false)
+			if err != nil {
+				return b, err
+			}
+			for _, alg := range rep.Algorithms {
+				pl, err := s.Place(app, alg, procs)
+				if err != nil {
+					return b, err
+				}
+				res, err := sim.RunEngine(tr, pl, cfg, eng)
+				if err != nil {
+					return b, err
+				}
+				b.Cells++
+				b.CyclesSimulated += res.ExecTime
+			}
+		}
+		b.Seconds = time.Since(t0).Seconds()
+		b.CyclesPerSec = float64(b.CyclesSimulated) / b.Seconds
+		return b, nil
+	}
+
+	fmt.Printf("benchsim: %s, %d algorithms x %v processors, scale %g\n", app, len(rep.Algorithms), pcs, scale)
+	if rep.Reference, err = measure(sim.ReferenceEngine); err != nil {
+		return err
+	}
+	fmt.Printf("  reference: %d cells in %.2fs (%.3g cycles/s)\n", rep.Reference.Cells, rep.Reference.Seconds, rep.Reference.CyclesPerSec)
+	if rep.Fast, err = measure(sim.FastEngine); err != nil {
+		return err
+	}
+	fmt.Printf("  fast:      %d cells in %.2fs (%.3g cycles/s)\n", rep.Fast.Cells, rep.Fast.Seconds, rep.Fast.CyclesPerSec)
+	if rep.Reference.CyclesSimulated != rep.Fast.CyclesSimulated {
+		return fmt.Errorf("engines disagree: reference simulated %d cycles, fast %d",
+			rep.Reference.CyclesSimulated, rep.Fast.CyclesSimulated)
+	}
+	rep.Speedup = rep.Fast.CyclesPerSec / rep.Reference.CyclesPerSec
+	fmt.Printf("  speedup:   %.2fx\n", rep.Speedup)
+
+	// Memoized sweep: a fresh suite so the first call pays for every
+	// simulation and the second call is pure cache.
+	ms := core.NewSuite(opts)
+	t0 := time.Now()
+	if _, err := ms.ExecutionFigure(app); err != nil {
+		return err
+	}
+	rep.MemoFirstSecs = time.Since(t0).Seconds()
+	t0 = time.Now()
+	if _, err := ms.ExecutionFigure(app); err != nil {
+		return err
+	}
+	rep.MemoSecondSecs = time.Since(t0).Seconds()
+	if rep.MemoSecondSecs > 0 {
+		rep.MemoSpeedup = rep.MemoFirstSecs / rep.MemoSecondSecs
+	}
+	fmt.Printf("  memoized ExecutionFigure: first %.2fs, second %.6fs\n", rep.MemoFirstSecs, rep.MemoSecondSecs)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -79,8 +79,16 @@ func main() {
 		abl    = flag.String("ablation", "", "ablation study: assoc, cachesize, contexts, uniformity, writeruns, protocol, latency, contention, dynamic or all")
 		outdir = flag.String("outdir", "", "also write each artifact as .txt/.csv/.svg into this directory")
 		jsonF  = flag.String("json", "", "regenerate all tables/figures and save them as one JSON bundle")
+		bsim   = flag.String("benchsim", "", "benchmark the reference vs fast simulation engines and save the comparison as JSON")
 	)
 	flag.Parse()
+	if *bsim != "" {
+		if err := benchSim(*scale, *seed, *procs, *bsim); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*all, *table, *figure, *scale, *seed, *procs, *fig5, *abl, *outdir, *jsonF); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// goldenSuite pins the paper's default configuration — workload scale 1,
+// seed 1994, 2/4/8/16 processors — whose numbers the golden file locks
+// down. It is separate from testSuite so changes to the test sweep never
+// silently move the goldens.
+var goldenSuite = sync.OnceValue(func() *Suite {
+	return NewSuite(DefaultOptions())
+})
+
+// goldenFig5App is the application Figure 5 shows (the paper uses MP3D).
+const goldenFig5App = "MP3D"
+
+// goldenData is everything golden.json locks: the Table 4 static-vs-
+// dynamic sharing comparison and the Figure 5 miss components.
+type goldenData struct {
+	Table4  []Table4Row         `json:"table4"`
+	Figure5 []MissComponentCell `json:"figure5"`
+}
+
+// TestGolden compares Table 4 and Figure 5 at the default scale against
+// internal/core/testdata/golden.json. Any engine change that shifts a
+// number fails here; run with UPDATE_GOLDEN=1 to regenerate after an
+// intentional change (and justify the diff in review).
+func TestGolden(t *testing.T) {
+	s := goldenSuite()
+	var got goldenData
+	var err error
+	if got.Table4, err = s.Table4(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Figure5, err = s.MissComponentFigure(goldenFig5App); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(got); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	var want goldenData
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Table4) != len(want.Table4) {
+		t.Fatalf("Table 4: %d rows, golden has %d", len(got.Table4), len(want.Table4))
+	}
+	for i, w := range want.Table4 {
+		if !reflect.DeepEqual(got.Table4[i], w) {
+			t.Errorf("Table 4 row %d (%s) drifted:\n  got  %+v\n  want %+v", i, w.App, got.Table4[i], w)
+		}
+	}
+	if len(got.Figure5) != len(want.Figure5) {
+		t.Fatalf("Figure 5: %d cells, golden has %d", len(got.Figure5), len(want.Figure5))
+	}
+	for i, w := range want.Figure5 {
+		if !reflect.DeepEqual(got.Figure5[i], w) {
+			t.Errorf("Figure 5 cell %d (%s/%dp) drifted:\n  got  %+v\n  want %+v",
+				i, w.Algorithm, w.Procs, got.Figure5[i], w)
+		}
+	}
+}

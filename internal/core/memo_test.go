@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPlacementMemoized: Place returns the identical *Placement for
+// repeated calls on the same (app, algorithm, procs) cell.
+func TestPlacementMemoized(t *testing.T) {
+	s := testSuite()
+	a, err := s.Place("Water", "SHARE-REFS", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Place("Water", "SHARE-REFS", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("placement not memoized: distinct pointers for identical cell")
+	}
+	c, err := s.Place("Water", "SHARE-REFS", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("distinct processor counts share a placement")
+	}
+}
+
+// TestSimulationMemoized: RunOne returns the identical *Result for
+// repeated calls on the same cell, and distinct cells do not collide.
+func TestSimulationMemoized(t *testing.T) {
+	s := testSuite()
+	a, err := s.RunOne("MP3D", "LOAD-BAL", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunOne("MP3D", "LOAD-BAL", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("simulation not memoized: distinct pointers for identical cell")
+	}
+	inf, err := s.RunOne("MP3D", "LOAD-BAL", 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == inf {
+		t.Error("finite and infinite cache configurations share a result")
+	}
+}
+
+// TestMemoizationConcurrent hammers one cell from many goroutines; every
+// caller must observe the same pointer (exercised under -race by the CI
+// tier).
+func TestMemoizationConcurrent(t *testing.T) {
+	s := testSuite()
+	const n = 16
+	results := make([]*sim.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.RunOne("Cholesky", "SHARE-ADDR", 8, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d observed a different result pointer", i)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/analysis"
@@ -40,8 +42,11 @@ func DefaultOptions() Options {
 	}
 }
 
-// Suite lazily builds and caches traces, analyses and coherence
-// measurements for the application suite. It is safe for concurrent use.
+// Suite lazily builds and caches traces, analyses, coherence
+// measurements, placements and simulation results for the application
+// suite. It is safe for concurrent use. Cached values (including the
+// *sim.Result and *placement.Placement returned by RunOne, Place and
+// friends) are shared between callers and must be treated as read-only.
 type Suite struct {
 	opts Options
 
@@ -50,11 +55,64 @@ type Suite struct {
 	sets      map[string]*analysis.Set
 	sharing   map[string]*analysis.SharingData
 	coherence map[string]*coherenceEntry
+	places    map[placeKey]*placeCell
+	sims      map[simKey]*simCell
 }
 
 type coherenceEntry struct {
 	matrix [][]uint64
 	result *sim.Result
+}
+
+// placeKey identifies one memoized placement computation. The RANDOM
+// algorithm's seed is a pure function of (app, procs) within a suite, so
+// the key is complete.
+type placeKey struct {
+	app, alg string
+	procs    int
+}
+
+// placeCell is a once-guarded placement computation, so concurrent
+// requests for the same cell compute it exactly once without holding the
+// suite lock across the (potentially expensive) clustering.
+type placeCell struct {
+	once sync.Once
+	pl   *placement.Placement
+	err  error
+}
+
+// simKey identifies one memoized simulation: the application, the exact
+// placement (algorithm name plus every cluster's thread list — an exact
+// encoding, not a lossy hash) and the full simulator configuration
+// (comparable: all fields are scalars). Figure sweeps that revisit
+// identical cells hit this cache instead of re-simulating.
+type simKey struct {
+	app       string
+	placement string
+	cfg       sim.Config
+}
+
+// simCell is a once-guarded simulation, the same discipline as placeCell.
+type simCell struct {
+	once sync.Once
+	res  *sim.Result
+	err  error
+}
+
+// placementKeyString encodes a placement exactly (collision-free).
+func placementKeyString(pl *placement.Placement) string {
+	var b strings.Builder
+	b.WriteString(pl.Algorithm)
+	for _, cluster := range pl.Clusters {
+		b.WriteByte('|')
+		for j, tid := range cluster {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(tid))
+		}
+	}
+	return b.String()
 }
 
 // NewSuite returns a Suite over the given options.
@@ -71,6 +129,8 @@ func NewSuite(opts Options) *Suite {
 		sets:      make(map[string]*analysis.Set),
 		sharing:   make(map[string]*analysis.SharingData),
 		coherence: make(map[string]*coherenceEntry),
+		places:    make(map[placeKey]*placeCell),
+		sims:      make(map[simKey]*simCell),
 	}
 }
 
@@ -163,17 +223,32 @@ func (s *Suite) randomSeed(app string, procs int) int64 {
 	return s.opts.RandomSeed ^ int64(h.Sum64())
 }
 
-// Place computes the named algorithm's placement for the application.
+// Place computes the named algorithm's placement for the application,
+// memoized per (app, algorithm, procs). The returned placement is shared;
+// treat it as read-only.
 func (s *Suite) Place(app, alg string, procs int) (*placement.Placement, error) {
-	d, err := s.Sharing(app)
-	if err != nil {
-		return nil, err
+	key := placeKey{app: app, alg: alg, procs: procs}
+	s.mu.Lock()
+	cell, ok := s.places[key]
+	if !ok {
+		cell = &placeCell{}
+		s.places[key] = cell
 	}
-	a, err := placement.ByName(alg)
-	if err != nil {
-		return nil, err
-	}
-	return a.Place(d, procs, s.randomSeed(app, procs))
+	s.mu.Unlock()
+	cell.once.Do(func() {
+		d, err := s.Sharing(app)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		a, err := placement.ByName(alg)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		cell.pl, cell.err = a.Place(d, procs, s.randomSeed(app, procs))
+	})
+	return cell.pl, cell.err
 }
 
 // RunOne simulates one (application, algorithm, processors) cell.
@@ -185,6 +260,10 @@ func (s *Suite) RunOne(app, alg string, procs int, infinite bool) (*sim.Result, 
 	return s.runPlacement(app, pl, procs, infinite)
 }
 
+// runPlacement simulates (app, placement, config), memoized on the exact
+// cell so sweeps that revisit identical cells (figures and tables share
+// many) reuse the result instead of re-simulating. The returned result is
+// shared; treat it as read-only.
 func (s *Suite) runPlacement(app string, pl *placement.Placement, procs int, infinite bool) (*sim.Result, error) {
 	tr, err := s.Trace(app)
 	if err != nil {
@@ -194,7 +273,18 @@ func (s *Suite) runPlacement(app string, pl *placement.Placement, procs int, inf
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(tr, pl, cfg)
+	key := simKey{app: app, placement: placementKeyString(pl), cfg: cfg}
+	s.mu.Lock()
+	cell, ok := s.sims[key]
+	if !ok {
+		cell = &simCell{}
+		s.sims[key] = cell
+	}
+	s.mu.Unlock()
+	cell.once.Do(func() {
+		cell.res, cell.err = sim.Run(tr, pl, cfg)
+	})
+	return cell.res, cell.err
 }
 
 // AlgResult pairs an algorithm name with its simulation result.

@@ -58,6 +58,10 @@ type event struct {
 	seq  uint64
 }
 
+// eventHeap is the reference engine's container/heap-backed event queue.
+// Every Push boxes the event into an interface{} (one heap allocation per
+// scheduled action); the fast engine replaces it with the concrete
+// quadHeap in heap4.go.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -77,7 +81,10 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
-// machine is the whole simulated system.
+// machine is the whole simulated system (reference engine). The fast
+// engine in fast.go mirrors this structure with flattened storage; any
+// semantic change here must be ported there (the differential suite fails
+// loudly if the two drift).
 type machine struct {
 	cfg          Config
 	procs        []*proc
@@ -95,21 +102,65 @@ type machine struct {
 	dynQueue []dynThread
 }
 
+// Engine selects one of the two simulation engine implementations. Both
+// produce bit-identical Results for any (trace, placement, config); the
+// differential suite in internal/core asserts this across the whole
+// application suite.
+type Engine int
+
+const (
+	// FastEngine is the default optimized engine: a concrete 4-ary event
+	// heap (no interface boxing), contexts stored in a contiguous slab,
+	// mask-indexed allocation-free cache lookups, and an arena-backed
+	// directory with reusable sharer scratch buffers.
+	FastEngine Engine = iota
+	// ReferenceEngine is the original straightforward implementation,
+	// kept as the oracle for differential testing and for RunChecked's
+	// protocol-invariant verification.
+	ReferenceEngine
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == ReferenceEngine {
+		return "reference"
+	}
+	return "fast"
+}
+
 // Run simulates trace tr on the machine described by cfg under the given
 // placement. It is deterministic and returns per-processor statistics, the
 // execution time (max finish over processors), and the pairwise coherence
-// traffic matrix.
+// traffic matrix. It uses the fast engine; RunEngine selects explicitly.
 func Run(tr *trace.Trace, pl *placement.Placement, cfg Config) (*Result, error) {
-	m, err := newMachine(tr, pl, cfg)
-	if err != nil {
-		return nil, err
+	return RunEngine(tr, pl, cfg, FastEngine)
+}
+
+// RunEngine is Run with an explicit engine choice. The two engines are
+// bit-for-bit interchangeable; ReferenceEngine exists as the slower oracle
+// the differential tests compare FastEngine against.
+func RunEngine(tr *trace.Trace, pl *placement.Placement, cfg Config, eng Engine) (*Result, error) {
+	switch eng {
+	case ReferenceEngine:
+		m, err := newMachine(tr, pl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.run(tr, pl, 0)
+	case FastEngine:
+		m, err := newFastMachine(tr, pl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.run(tr, pl)
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %d", eng)
 	}
-	return m.run(tr, pl, 0)
 }
 
 // RunChecked is Run with the global coherence-protocol invariants verified
 // every checkEvery events (and once at the end). It is slower and intended
-// for tests.
+// for tests; the invariant checker lives on the reference engine.
 func RunChecked(tr *trace.Trace, pl *placement.Placement, cfg Config, checkEvery int) (*Result, error) {
 	m, err := newMachine(tr, pl, cfg)
 	if err != nil {
@@ -166,6 +217,12 @@ func newMachine(tr *trace.Trace, pl *placement.Placement, cfg Config) (*machine,
 		p.nextLoad = len(p.ctxs)
 		if cfg.MaxContexts > 0 && cfg.MaxContexts < len(p.ctxs) {
 			p.nextLoad = cfg.MaxContexts
+			// An initially loaded thread may be empty (its context is done
+			// from cycle zero); each such context is a free slot a waiting
+			// thread must be admitted into, or it would never run.
+			for free := p.done; free > 0; free-- {
+				m.admitNext(p)
+			}
 		}
 		p.rr = len(p.ctxs) - 1
 		m.procs = append(m.procs, p)

@@ -1,0 +1,93 @@
+package sim
+
+import "math/bits"
+
+// fastDirectory is the fast engine's full-map directory. Where the
+// reference directory allocates a *dirEntry plus a fresh sharer bitmap
+// per block, entries here live in flat slabs addressed by a compact
+// index: owners[i] is entry i's owner and its sharer bitmap occupies
+// bitsArena[i*words : (i+1)*words]. Creating an entry is one map insert
+// and two amortized appends — no per-entry allocation.
+//
+// Entries are referenced by index, not pointer, because the slabs may be
+// reallocated by growth while a transaction is in flight.
+type fastDirectory struct {
+	nprocs int
+	words  int
+	index  map[uint64]int32
+	owners []int32
+	// bitsArena holds every entry's sharer bitmap back to back.
+	bitsArena []uint64
+	// zero is a words-long all-zero slice appended (copied) when a new
+	// entry is created.
+	zero []uint64
+}
+
+func newFastDirectory(nprocs int) *fastDirectory {
+	words := (nprocs + 63) / 64
+	return &fastDirectory{
+		nprocs: nprocs,
+		words:  words,
+		index:  make(map[uint64]int32),
+		zero:   make([]uint64, words),
+	}
+}
+
+// entry returns block's entry index, creating the entry if needed.
+func (d *fastDirectory) entry(block uint64) int32 {
+	if ei, ok := d.index[block]; ok {
+		return ei
+	}
+	ei := int32(len(d.owners))
+	d.index[block] = ei
+	d.owners = append(d.owners, -1)
+	d.bitsArena = append(d.bitsArena, d.zero...)
+	return ei
+}
+
+// peek returns block's entry index, or -1 without creating one.
+func (d *fastDirectory) peek(block uint64) int32 {
+	if ei, ok := d.index[block]; ok {
+		return ei
+	}
+	return -1
+}
+
+// sharers returns entry ei's bitmap words.
+func (d *fastDirectory) sharers(ei int32) []uint64 {
+	return d.bitsArena[int(ei)*d.words : (int(ei)+1)*d.words]
+}
+
+func (d *fastDirectory) owner(ei int32) int32       { return d.owners[ei] }
+func (d *fastDirectory) setOwner(ei int32, p int32) { d.owners[ei] = p }
+
+func (d *fastDirectory) add(ei int32, p int) {
+	d.bitsArena[int(ei)*d.words+p/64] |= 1 << (uint(p) % 64)
+}
+
+func (d *fastDirectory) remove(ei int32, p int) {
+	d.bitsArena[int(ei)*d.words+p/64] &^= 1 << (uint(p) % 64)
+}
+
+func (d *fastDirectory) clearSharers(ei int32) {
+	s := d.sharers(ei)
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// appendOthers appends every sharer of entry ei except p to buf, in
+// ascending processor order (the reference directory's iteration order),
+// and returns the extended buffer. Callers pass a scratch buffer owned by
+// the machine so steady-state transactions allocate nothing.
+func (d *fastDirectory) appendOthers(ei int32, p int, buf []int32) []int32 {
+	for wi, w := range d.sharers(ei) {
+		for ; w != 0; w &= w - 1 {
+			q := wi*64 + bits.TrailingZeros64(w)
+			if q != p {
+				buf = append(buf, int32(q))
+			}
+		}
+	}
+	return buf
+}
