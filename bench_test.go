@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/placement"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -221,6 +222,66 @@ func benchmarkEngine(b *testing.B, eng sim.Engine) {
 // BenchmarkEngineReference times the boxed container/heap reference
 // engine on LocusRoute LOAD-BAL at 8 processors.
 func BenchmarkEngineReference(b *testing.B) { benchmarkEngine(b, sim.ReferenceEngine) }
+
+// probeBenchTrace builds a synthetic trace whose per-thread length varies
+// with events but whose working set (16 shared blocks across 4 threads)
+// is fixed, so every allocation outside the engines' per-event hot path —
+// machine construction, cache and directory slabs, cursors — is identical
+// regardless of length.
+func probeBenchTrace(events int) *trace.Trace {
+	const nThreads = 4
+	tr := trace.New("probe-bench", nThreads)
+	for i := 0; i < nThreads; i++ {
+		r := trace.NewRecorder(tr, i)
+		for j := 0; j < events; j++ {
+			r.Compute(j % 5)
+			block := trace.SharedBase + uint64((j+i*3)%16)*sim.DefaultLineSize
+			if j%4 == 0 {
+				r.Ref(trace.Write, block)
+			} else {
+				r.Ref(trace.Read, block)
+			}
+		}
+	}
+	return tr
+}
+
+// BenchmarkEngineProbeDisabled asserts the observability layer's
+// zero-cost-when-disabled contract: with no probe attached, the fast
+// engine's per-event hot path performs zero allocations. Whole-run alloc
+// counts include setup (machine, slabs, cursors), so the assertion
+// compares a short against a 10x longer trace over the same working set:
+// any per-event allocation would scale with length and break the
+// equality. The timed loop then reports throughput for the same runs.
+func BenchmarkEngineProbeDisabled(b *testing.B) {
+	pl := &placement.Placement{Algorithm: "BENCH", Clusters: [][]int{{0, 1}, {2, 3}}}
+	cfg := sim.DefaultConfig(2)
+	run := func(tr *trace.Trace) {
+		if _, err := sim.RunEngine(tr, pl, cfg, sim.FastEngine); err != nil {
+			b.Fatal(err)
+		}
+	}
+	short, long := probeBenchTrace(500), probeBenchTrace(5000)
+	allocsShort := testing.AllocsPerRun(5, func() { run(short) })
+	allocsLong := testing.AllocsPerRun(5, func() { run(long) })
+	if allocsLong != allocsShort {
+		b.Fatalf("probe-disabled hot path allocates: %.0f allocs for 500-event threads vs %.0f for 5000 (%.4f allocs per extra event)",
+			allocsShort, allocsLong, (allocsLong-allocsShort)/(4*4500))
+	}
+	b.ReportMetric(0, "hotpath_allocs/event")
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunEngine(long, pl, cfg, sim.FastEngine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.ExecTime
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
 
 // BenchmarkEngineFast times the specialized 4-ary-heap slab engine on the
 // same cell; the cycles/s ratio against BenchmarkEngineReference is the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -20,21 +21,25 @@ type engineBench struct {
 }
 
 // benchSimReport is the BENCH_sim.json schema: throughput of the
-// reference and fast engines over the same cells, their speedup, and the
-// memoized sweep's first-vs-second-call wall time.
+// reference and fast engines over the same cells, their speedup, the
+// fast engine's throughput with a probe attached (the observability
+// layer's measured cost), and the memoized sweep's first-vs-second-call
+// wall time.
 type benchSimReport struct {
-	App            string      `json:"app"`
-	Scale          float64     `json:"scale"`
-	Seed           int64       `json:"seed"`
-	ProcCounts     []int       `json:"proc_counts"`
-	Algorithms     []string    `json:"algorithms"`
-	Reference      engineBench `json:"reference"`
-	Fast           engineBench `json:"fast"`
-	Speedup        float64     `json:"speedup"`
-	MemoFirstSecs  float64     `json:"memoized_figure_first_call_seconds"`
-	MemoSecondSecs float64     `json:"memoized_figure_second_call_seconds"`
-	MemoSpeedup    float64     `json:"memoized_figure_speedup"`
-	GeneratedBy    string      `json:"generated_by"`
+	App              string      `json:"app"`
+	Scale            float64     `json:"scale"`
+	Seed             int64       `json:"seed"`
+	ProcCounts       []int       `json:"proc_counts"`
+	Algorithms       []string    `json:"algorithms"`
+	Reference        engineBench `json:"reference"`
+	Fast             engineBench `json:"fast"`
+	FastProbeOn      engineBench `json:"fast_probe_on"`
+	Speedup          float64     `json:"speedup"`
+	ProbeOverheadPct float64     `json:"probe_overhead_pct"`
+	MemoFirstSecs    float64     `json:"memoized_figure_first_call_seconds"`
+	MemoSecondSecs   float64     `json:"memoized_figure_second_call_seconds"`
+	MemoSpeedup      float64     `json:"memoized_figure_speedup"`
+	GeneratedBy      string      `json:"generated_by"`
 }
 
 // benchSim times both engines sequentially over every (algorithm,
@@ -67,7 +72,10 @@ func benchSim(scale float64, seed int64, procsSpec, path string) error {
 	if err != nil {
 		return err
 	}
-	measure := func(eng sim.Engine) (engineBench, error) {
+	// newProbe, when non-nil, supplies a fresh probe per cell (a counter
+	// plus a 10k-cycle sampler — the stack a telemetry-enabled sweep
+	// would attach).
+	measure := func(eng sim.Engine, newProbe func() obs.Probe) (engineBench, error) {
 		var b engineBench
 		t0 := time.Now()
 		for _, procs := range pcs {
@@ -80,7 +88,11 @@ func benchSim(scale float64, seed int64, procsSpec, path string) error {
 				if err != nil {
 					return b, err
 				}
-				res, err := sim.RunEngine(tr, pl, cfg, eng)
+				var probe obs.Probe
+				if newProbe != nil {
+					probe = newProbe()
+				}
+				res, err := sim.RunObserved(tr, pl, cfg, eng, probe)
 				if err != nil {
 					return b, err
 				}
@@ -94,11 +106,11 @@ func benchSim(scale float64, seed int64, procsSpec, path string) error {
 	}
 
 	fmt.Printf("benchsim: %s, %d algorithms x %v processors, scale %g\n", app, len(rep.Algorithms), pcs, scale)
-	if rep.Reference, err = measure(sim.ReferenceEngine); err != nil {
+	if rep.Reference, err = measure(sim.ReferenceEngine, nil); err != nil {
 		return err
 	}
 	fmt.Printf("  reference: %d cells in %.2fs (%.3g cycles/s)\n", rep.Reference.Cells, rep.Reference.Seconds, rep.Reference.CyclesPerSec)
-	if rep.Fast, err = measure(sim.FastEngine); err != nil {
+	if rep.Fast, err = measure(sim.FastEngine, nil); err != nil {
 		return err
 	}
 	fmt.Printf("  fast:      %d cells in %.2fs (%.3g cycles/s)\n", rep.Fast.Cells, rep.Fast.Seconds, rep.Fast.CyclesPerSec)
@@ -108,6 +120,19 @@ func benchSim(scale float64, seed int64, procsSpec, path string) error {
 	}
 	rep.Speedup = rep.Fast.CyclesPerSec / rep.Reference.CyclesPerSec
 	fmt.Printf("  speedup:   %.2fx\n", rep.Speedup)
+
+	if rep.FastProbeOn, err = measure(sim.FastEngine, func() obs.Probe {
+		return obs.Multi(&obs.Counter{}, obs.NewSampler(10_000))
+	}); err != nil {
+		return err
+	}
+	if rep.FastProbeOn.CyclesSimulated != rep.Fast.CyclesSimulated {
+		return fmt.Errorf("probe perturbed the simulation: bare %d cycles, probed %d",
+			rep.Fast.CyclesSimulated, rep.FastProbeOn.CyclesSimulated)
+	}
+	rep.ProbeOverheadPct = (rep.Fast.CyclesPerSec/rep.FastProbeOn.CyclesPerSec - 1) * 100
+	fmt.Printf("  fast+probe: %d cells in %.2fs (%.3g cycles/s, %.1f%% overhead)\n",
+		rep.FastProbeOn.Cells, rep.FastProbeOn.Seconds, rep.FastProbeOn.CyclesPerSec, rep.ProbeOverheadPct)
 
 	// Memoized sweep: a fresh suite so the first call pays for every
 	// simulation and the second call is pure cache.

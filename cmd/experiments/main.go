@@ -14,11 +14,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -67,31 +71,85 @@ func (e *emitter) chart(name string, c *report.BarChart) error {
 	return e.save(name, ".svg", func(f *os.File) error { return c.WriteSVG(f) })
 }
 
+// curSection names the section currently regenerating, for the
+// -progress heartbeat.
+var curSection atomic.Value
+
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every table and figure")
-		table  = flag.Int("table", 0, "run one table (1-5)")
-		figure = flag.Int("figure", 0, "run one figure (2-5)")
-		scale  = flag.Float64("scale", 1.0, "workload scale factor")
-		seed   = flag.Int64("seed", 1994, "generation seed")
-		procs  = flag.String("procs", "2,4,8,16", "processor counts, comma separated")
-		fig5   = flag.String("fig5app", "MP3D", "application for the Figure 5 miss-component graph")
-		abl    = flag.String("ablation", "", "ablation study: assoc, cachesize, contexts, uniformity, writeruns, protocol, latency, contention, dynamic or all")
-		outdir = flag.String("outdir", "", "also write each artifact as .txt/.csv/.svg into this directory")
-		jsonF  = flag.String("json", "", "regenerate all tables/figures and save them as one JSON bundle")
-		bsim   = flag.String("benchsim", "", "benchmark the reference vs fast simulation engines and save the comparison as JSON")
+		all      = flag.Bool("all", false, "run every table and figure")
+		table    = flag.Int("table", 0, "run one table (1-5)")
+		figure   = flag.Int("figure", 0, "run one figure (2-5)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1994, "generation seed")
+		procs    = flag.String("procs", "2,4,8,16", "processor counts, comma separated")
+		fig5     = flag.String("fig5app", "MP3D", "application for the Figure 5 miss-component graph")
+		abl      = flag.String("ablation", "", "ablation study: assoc, cachesize, contexts, uniformity, writeruns, protocol, latency, contention, dynamic or all")
+		outdir   = flag.String("outdir", "", "also write each artifact as .txt/.csv/.svg into this directory")
+		jsonF    = flag.String("json", "", "regenerate all tables/figures and save them as one JSON bundle")
+		bsim     = flag.String("benchsim", "", "benchmark the reference vs fast simulation engines and save the comparison as JSON")
+		timeline = flag.String("timeline", "", "simulate one representative run and write its Perfetto timeline JSON to this file")
+		progress = flag.Duration("progress", 0, "log a progress heartbeat at this interval (e.g. 10s) while sweeps run")
+		verbose  = flag.Bool("v", false, "verbose diagnostics")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if *bsim != "" {
-		if err := benchSim(*scale, *seed, *procs, *bsim); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
+	log := obs.NewLogger(os.Stderr, *verbose)
+	fail := func(err error) {
+		os.Exit(obs.Fail(log, err, flag.Usage))
 	}
-	if err := run(*all, *table, *figure, *scale, *seed, *procs, *fig5, *abl, *outdir, *jsonF); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			log.Info("wrote CPU profile", "path", *cpuprof)
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				log.Error(err.Error())
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Error(err.Error())
+				return
+			}
+			log.Info("wrote heap profile", "path", *memprof)
+		}()
+	}
+
+	curSection.Store("starting")
+	stop := obs.StartHeartbeat(log, *progress, func() string {
+		s, _ := curSection.Load().(string)
+		return s
+	})
+	defer stop()
+
+	var err error
+	switch {
+	case *bsim != "":
+		err = benchSim(*scale, *seed, *procs, *bsim)
+	case *timeline != "":
+		err = timelineRun(*scale, *seed, *procs, *timeline, log)
+	default:
+		err = run(*all, *table, *figure, *scale, *seed, *procs, *fig5, *abl, *outdir, *jsonF)
+	}
+	if err != nil {
+		stop()
+		fail(err)
 	}
 }
 
@@ -100,7 +158,7 @@ func parseProcs(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad processor count %q", part)
+			return nil, obs.Usagef("bad processor count %q", part)
 		}
 		out = append(out, n)
 	}
@@ -124,6 +182,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 	s := core.NewSuite(opts)
 
 	section := func(name string, f func() error) error {
+		curSection.Store(name)
 		t0 := time.Now()
 		if err := f(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -355,7 +414,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 		}
 	}
 	if !ran {
-		return fmt.Errorf("nothing selected: use -all, -table N, -figure N, -ablation NAME or -json FILE")
+		return obs.Usagef("nothing selected: use -all, -table N, -figure N, -ablation NAME, -json FILE, -benchsim FILE or -timeline FILE")
 	}
 	return nil
 }

@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/obstest"
+)
 
 func TestParseProcs(t *testing.T) {
 	got, err := parseProcs("2,4, 8,16")
@@ -35,5 +44,30 @@ func TestRunRejectsEmptySelection(t *testing.T) {
 func TestRunSingleTable(t *testing.T) {
 	if err := run(false, 3, 0, 1, 1, "2", "MP3D", "", t.TempDir(), ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(false, 0, 0, 1, 1, "2", "MP3D", "", "", ""); !obs.IsUsage(err) {
+		t.Errorf("empty selection: err = %v, want usage error", err)
+	}
+	if err := run(false, 0, 0, 1, 1, "bogus", "MP3D", "", "", ""); !obs.IsUsage(err) {
+		t.Errorf("bad procs: err = %v, want usage error", err)
+	}
+}
+
+func TestTimelineRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timeline.json")
+	var logs bytes.Buffer
+	if err := timelineRun(0.25, 1, "2,4", path, obs.NewLogger(&logs, false)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obstest.CheckTraceEventJSON(t, raw)
+	if !strings.Contains(logs.String(), "wrote timeline") {
+		t.Errorf("no confirmation logged: %q", logs.String())
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -32,8 +33,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*listAlgs, *app, *alg, *procs, *scale, *seed, *show, *ext); err != nil {
-		fmt.Fprintln(os.Stderr, "mtplace:", err)
-		os.Exit(1)
+		os.Exit(obs.Fail(obs.NewLogger(os.Stderr, false), err, flag.Usage))
 	}
 }
 
@@ -53,7 +53,7 @@ func run(listAlgs bool, app, alg string, procs int, scale float64, seed int64, s
 		return t.Render(os.Stdout)
 	}
 	if app == "" {
-		return fmt.Errorf("need -app (or -algs)")
+		return obs.Usagef("need -app (or -algs)")
 	}
 	a, err := workload.ByName(app)
 	if err != nil {

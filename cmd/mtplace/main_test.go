@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
 
 func TestRunModes(t *testing.T) {
 	if err := run(true, "", "", 0, 1, 1, false, false); err != nil {
@@ -8,6 +12,8 @@ func TestRunModes(t *testing.T) {
 	}
 	if err := run(false, "", "", 4, 1, 1, false, false); err == nil {
 		t.Error("missing app accepted")
+	} else if !obs.IsUsage(err) {
+		t.Errorf("missing app is not a usage error: %v", err)
 	}
 	if err := run(false, "Grav", "NOPE", 4, 0.25, 1, false, false); err == nil {
 		t.Error("unknown algorithm accepted")

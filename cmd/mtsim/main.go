@@ -7,73 +7,127 @@
 //
 //	mtsim -app LocusRoute -alg LOAD-BAL -procs 8
 //	mtsim -app Water -alg SHARE-REFS -procs 4 -infinite
+//
+// Telemetry (see DESIGN.md §7):
+//
+//	mtsim -app MP3D -alg LOAD-BAL -timeline run.json    # Perfetto timeline
+//	mtsim -app MP3D -alg LOAD-BAL -sample run.csv       # windowed time series
+//	mtsim -app MP3D -alg LOAD-BAL -sparkline run.svg    # time-series sparklines
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
+// options carries every flag; run takes it whole so tests can exercise
+// any combination without threading a dozen positional arguments.
+type options struct {
+	app, alg     string
+	procs        int
+	scale        float64
+	seed         int64
+	infinite     bool
+	perProc      bool
+	assoc        int
+	contexts     int
+	wruns        bool
+	dynamic      string
+	timeline     string
+	sample       string
+	sparkline    string
+	sampleWindow uint64
+	verbose      bool
+}
+
 func main() {
-	var (
-		app      = flag.String("app", "", "application name (see mttrace -list)")
-		alg      = flag.String("alg", "LOAD-BAL", "placement algorithm (see mtplace -algs)")
-		procs    = flag.Int("procs", 4, "number of processors")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		seed     = flag.Int64("seed", 1994, "generation / RANDOM seed")
-		infinite = flag.Bool("infinite", false, "use the 8 MB 'infinite' cache of §4.3")
-		perProc  = flag.Bool("per-proc", false, "print per-processor statistics")
-		assoc    = flag.Int("assoc", 1, "cache set associativity (1 = the paper's direct-mapped)")
-		contexts = flag.Int("contexts", 0, "hardware contexts per processor (0 = one per thread)")
-		wruns    = flag.Bool("writeruns", false, "measure write runs / migratory data (§4.2)")
-		dynamic  = flag.String("dynamic", "", "use online self-scheduling instead of a static placement: fifo or longest-first")
-	)
+	var o options
+	flag.StringVar(&o.app, "app", "", "application name (see mttrace -list)")
+	flag.StringVar(&o.alg, "alg", "LOAD-BAL", "placement algorithm (see mtplace -algs)")
+	flag.IntVar(&o.procs, "procs", 4, "number of processors")
+	flag.Float64Var(&o.scale, "scale", 1.0, "workload scale factor")
+	flag.Int64Var(&o.seed, "seed", 1994, "generation / RANDOM seed")
+	flag.BoolVar(&o.infinite, "infinite", false, "use the 8 MB 'infinite' cache of §4.3")
+	flag.BoolVar(&o.perProc, "per-proc", false, "print per-processor statistics")
+	flag.IntVar(&o.assoc, "assoc", 1, "cache set associativity (1 = the paper's direct-mapped)")
+	flag.IntVar(&o.contexts, "contexts", 0, "hardware contexts per processor (0 = one per thread)")
+	flag.BoolVar(&o.wruns, "writeruns", false, "measure write runs / migratory data (§4.2)")
+	flag.StringVar(&o.dynamic, "dynamic", "", "use online self-scheduling instead of a static placement: fifo or longest-first")
+	flag.StringVar(&o.timeline, "timeline", "", "write the run as Perfetto/Chrome trace-event JSON to this file")
+	flag.StringVar(&o.sample, "sample", "", "write windowed time-series samples as CSV to this file")
+	flag.StringVar(&o.sparkline, "sparkline", "", "write time-series sparklines as SVG to this file")
+	flag.Uint64Var(&o.sampleWindow, "sample-window", 10000, "sampling window width in cycles for -sample/-sparkline")
+	flag.BoolVar(&o.verbose, "v", false, "verbose diagnostics")
 	flag.Parse()
-	if err := run(*app, *alg, *procs, *scale, *seed, *infinite, *perProc, *assoc, *contexts, *wruns, *dynamic); err != nil {
-		fmt.Fprintln(os.Stderr, "mtsim:", err)
-		os.Exit(1)
+
+	log := obs.NewLogger(os.Stderr, o.verbose)
+	if err := run(o, os.Stdout, log); err != nil {
+		os.Exit(obs.Fail(log, err, flag.Usage))
 	}
 }
 
-func run(app, alg string, procs int, scale float64, seed int64, infinite, perProc bool, assoc, contexts int, wruns bool, dynamic string) error {
-	if app == "" {
-		return fmt.Errorf("need -app")
+func run(o options, out io.Writer, log *slog.Logger) error {
+	if o.app == "" {
+		return obs.Usagef("need -app")
 	}
-	a, err := workload.ByName(app)
+	if (o.sample != "" || o.sparkline != "") && o.sampleWindow == 0 {
+		return obs.Usagef("-sample-window must be positive")
+	}
+	a, err := workload.ByName(o.app)
 	if err != nil {
 		return err
 	}
-	tr, err := a.Build(workload.Params{Scale: scale, Seed: seed})
+	tr, err := a.Build(workload.Params{Scale: o.scale, Seed: o.seed})
 	if err != nil {
 		return err
 	}
-	cfg := sim.DefaultConfig(procs)
+	log.Debug("trace built", "app", o.app, "threads", tr.NumThreads())
+	cfg := sim.DefaultConfig(o.procs)
 	cfg.CacheSize = a.CacheSize
-	cfg.Associativity = assoc
-	cfg.MaxContexts = contexts
-	cfg.TrackWriteRuns = wruns
-	if infinite {
+	cfg.Associativity = o.assoc
+	cfg.MaxContexts = o.contexts
+	cfg.TrackWriteRuns = o.wruns
+	if o.infinite {
 		cfg.CacheSize = sim.InfiniteCacheSize
 	}
+
+	// Telemetry consumers, combined into one probe; nil when no telemetry
+	// flag is set, so the plain path stays probe-free.
+	var tracer *obs.Tracer
+	var sampler *obs.Sampler
+	var probes []obs.Probe
+	if o.timeline != "" {
+		tracer = obs.NewTracer()
+		probes = append(probes, tracer)
+	}
+	if o.sample != "" || o.sparkline != "" {
+		sampler = obs.NewSampler(o.sampleWindow)
+		probes = append(probes, sampler)
+	}
+	probe := obs.Multi(probes...)
+
+	alg := o.alg
 	var res *sim.Result
-	if dynamic != "" {
+	if o.dynamic != "" {
 		policy := sim.FIFO
-		switch dynamic {
+		switch o.dynamic {
 		case "fifo":
 		case "longest-first":
 			policy = sim.LongestFirst
 		default:
-			return fmt.Errorf("unknown -dynamic policy %q (fifo or longest-first)", dynamic)
+			return obs.Usagef("unknown -dynamic policy %q (fifo or longest-first)", o.dynamic)
 		}
-		alg = "" // static algorithm unused
-		res, err = sim.RunDynamic(tr, cfg, policy)
+		res, err = sim.RunDynamicObserved(tr, cfg, policy, probe)
 		if err != nil {
 			return err
 		}
@@ -83,23 +137,46 @@ func run(app, alg string, procs int, scale float64, seed int64, infinite, perPro
 		if err != nil {
 			return err
 		}
-		pl, err := pa.Place(analysis.Analyze(tr).Sharing(), procs, seed)
+		pl, err := pa.Place(analysis.Analyze(tr).Sharing(), o.procs, o.seed)
 		if err != nil {
 			return err
 		}
-		res, err = sim.Run(tr, pl, cfg)
+		res, err = sim.RunObserved(tr, pl, cfg, sim.FastEngine, probe)
 		if err != nil {
 			return err
 		}
 	}
+	log.Debug("simulation complete", "exec_cycles", res.ExecTime)
+
+	if tracer != nil {
+		if err := writeFile(o.timeline, tracer.Export); err != nil {
+			return err
+		}
+		log.Info("wrote timeline", "path", o.timeline, "events", tracer.Events(),
+			"hint", "open in https://ui.perfetto.dev")
+	}
+	if sampler != nil {
+		if o.sample != "" {
+			if err := writeFile(o.sample, sampler.Table().WriteCSV); err != nil {
+				return err
+			}
+			log.Info("wrote samples", "path", o.sample, "windows", len(sampler.Samples()))
+		}
+		if o.sparkline != "" {
+			if err := writeFile(o.sparkline, sampler.TimeSeries().WriteSVG); err != nil {
+				return err
+			}
+			log.Info("wrote sparklines", "path", o.sparkline)
+		}
+	}
 
 	tot := res.Totals()
-	fmt.Printf("%s / %s / %d processors (%d KB cache)\n", app, alg, procs, cfg.CacheSize>>10)
-	fmt.Printf("execution time: %d cycles\n", res.ExecTime)
-	fmt.Printf("references: %d (%.1f%% shared), hit rate %.2f%%\n",
+	fmt.Fprintf(out, "%s / %s / %d processors (%d KB cache)\n", o.app, alg, o.procs, cfg.CacheSize>>10)
+	fmt.Fprintf(out, "execution time: %d cycles\n", res.ExecTime)
+	fmt.Fprintf(out, "references: %d (%.1f%% shared), hit rate %.2f%%\n",
 		tot.Refs, float64(tot.SharedRefs)/float64(tot.Refs)*100,
 		float64(tot.Hits)/float64(tot.Refs)*100)
-	fmt.Printf("cycles: busy %d, switching %d, idle %d\n", tot.Busy, tot.Switch, tot.Idle)
+	fmt.Fprintf(out, "cycles: busy %d, switching %d, idle %d\n", tot.Busy, tot.Switch, tot.Idle)
 
 	mt := &report.Table{
 		Title:   "Cache miss components",
@@ -112,18 +189,18 @@ func run(app, alg string, procs int, scale float64, seed int64, infinite, perPro
 	}
 	mt.AddRow("total", fmt.Sprint(tot.TotalMisses()),
 		report.F(float64(tot.TotalMisses())/float64(tot.Refs)*1000, 2))
-	if err := mt.Render(os.Stdout); err != nil {
+	if err := mt.Render(out); err != nil {
 		return err
 	}
-	fmt.Printf("coherence: %d invalidations sent, %d upgrades, %d writebacks\n",
+	fmt.Fprintf(out, "coherence: %d invalidations sent, %d upgrades, %d writebacks\n",
 		tot.InvalidationsSent, tot.Upgrades, tot.Writebacks)
 	if res.WriteRuns != nil {
 		w := res.WriteRuns
-		fmt.Printf("write runs: %d written blocks, %d single-writer, %d migratory (%.1f%% of multi-writer), mean run %.1f\n",
+		fmt.Fprintf(out, "write runs: %d written blocks, %d single-writer, %d migratory (%.1f%% of multi-writer), mean run %.1f\n",
 			w.WrittenBlocks, w.SingleWriterBlocks, w.MigratoryBlocks, w.MigratoryPct(), w.MeanRunLength)
 	}
 
-	if perProc {
+	if o.perProc {
 		pt := &report.Table{
 			Title:   "Per-processor statistics",
 			Columns: []string{"Proc", "Finish", "Busy", "Switch", "Idle", "Refs", "Misses"},
@@ -133,7 +210,20 @@ func run(app, alg string, procs int, scale float64, seed int64, infinite, perPro
 				fmt.Sprint(p.Switch), fmt.Sprint(p.Idle), fmt.Sprint(p.Refs),
 				fmt.Sprint(p.TotalMisses()))
 		}
-		return pt.Render(os.Stdout)
+		return pt.Render(out)
 	}
 	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

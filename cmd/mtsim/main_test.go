@@ -1,24 +1,132 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/obstest"
+)
+
+// testRun invokes run with discarded output and a buffer-backed logger.
+func testRun(o options) error {
+	var out, logs bytes.Buffer
+	return run(o, &out, obs.NewLogger(&logs, false))
+}
+
+func base() options {
+	return options{app: "Grav", alg: "LOAD-BAL", procs: 4, scale: 0.25, seed: 1, assoc: 1, sampleWindow: 10000}
+}
 
 func TestRunModes(t *testing.T) {
-	if err := run("", "LOAD-BAL", 4, 1, 1, false, false, 1, 0, false, ""); err == nil {
+	o := base()
+	o.app = ""
+	if err := testRun(o); err == nil {
 		t.Error("missing app accepted")
+	} else if !obs.IsUsage(err) {
+		t.Errorf("missing app is not a usage error: %v", err)
 	}
-	if err := run("Grav", "NOPE", 4, 1, 1, false, false, 1, 0, false, ""); err == nil {
+
+	o = base()
+	o.alg = "NOPE"
+	if err := testRun(o); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("Grav", "LOAD-BAL", 4, 0.25, 1, false, true, 2, 2, true, ""); err != nil {
+
+	o = base()
+	o.perProc, o.assoc, o.contexts, o.wruns = true, 2, 2, true
+	if err := testRun(o); err != nil {
 		t.Errorf("full-feature run: %v", err)
 	}
-	if err := run("Grav", "SHARE-REFS", 4, 0.25, 1, true, false, 1, 0, false, ""); err != nil {
+
+	o = base()
+	o.alg, o.infinite = "SHARE-REFS", true
+	if err := testRun(o); err != nil {
 		t.Errorf("infinite-cache run: %v", err)
 	}
-	if err := run("Grav", "", 4, 0.25, 1, false, false, 1, 2, false, "longest-first"); err != nil {
+
+	o = base()
+	o.alg, o.dynamic, o.contexts = "", "longest-first", 2
+	if err := testRun(o); err != nil {
 		t.Errorf("dynamic run: %v", err)
 	}
-	if err := run("Grav", "", 4, 0.25, 1, false, false, 1, 0, false, "bogus"); err == nil {
+
+	o = base()
+	o.alg, o.dynamic = "", "bogus"
+	if err := testRun(o); err == nil {
 		t.Error("bad dynamic policy accepted")
+	} else if !obs.IsUsage(err) {
+		t.Errorf("bad dynamic policy is not a usage error: %v", err)
+	}
+}
+
+// TestTimelineOutput runs mtsim with every telemetry flag set and
+// validates the artifacts: the timeline must be schema-valid trace-event
+// JSON, the sample CSV and sparkline SVG non-empty and well-formed.
+func TestTimelineOutput(t *testing.T) {
+	dir := t.TempDir()
+	o := base()
+	o.timeline = filepath.Join(dir, "run.json")
+	o.sample = filepath.Join(dir, "run.csv")
+	o.sparkline = filepath.Join(dir, "run.svg")
+	o.sampleWindow = 5000
+	if err := testRun(o); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(o.timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obstest.CheckTraceEventJSON(t, raw)
+
+	csvRaw, err := os.ReadFile(o.sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvRaw)), "\n")
+	if len(lines) < 2 {
+		t.Errorf("sample CSV has %d lines, want header + windows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "start,end,refs") {
+		t.Errorf("sample CSV header = %q", lines[0])
+	}
+
+	svgRaw, err := os.ReadFile(o.sparkline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svgRaw), "<svg") || !strings.Contains(string(svgRaw), "miss_rate_%") {
+		t.Errorf("sparkline SVG malformed: %.80q", svgRaw)
+	}
+}
+
+// TestTimelineDynamic checks telemetry also works through the dynamic
+// scheduling path.
+func TestTimelineDynamic(t *testing.T) {
+	dir := t.TempDir()
+	o := base()
+	o.alg, o.dynamic, o.contexts = "", "fifo", 2
+	o.timeline = filepath.Join(dir, "dyn.json")
+	if err := testRun(o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(o.timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obstest.CheckTraceEventJSON(t, raw)
+}
+
+// TestZeroSampleWindowRejected locks the flag validation path.
+func TestZeroSampleWindowRejected(t *testing.T) {
+	o := base()
+	o.sample, o.sampleWindow = "x.csv", 0
+	err := testRun(o)
+	if err == nil || !obs.IsUsage(err) {
+		t.Errorf("zero sample window: err = %v, want usage error", err)
 	}
 }

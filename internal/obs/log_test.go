@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, false)
+	log.Info("hello", "app", "MP3D", "procs", 8)
+	got := buf.String()
+	if got != "level=INFO msg=hello app=MP3D procs=8\n" {
+		t.Errorf("unexpected log line: %q", got)
+	}
+	if strings.Contains(got, "time=") {
+		t.Errorf("log line carries a timestamp: %q", got)
+	}
+
+	buf.Reset()
+	log.Debug("quiet")
+	if buf.Len() != 0 {
+		t.Errorf("debug record emitted at info level: %q", buf.String())
+	}
+
+	buf.Reset()
+	NewLogger(&buf, true).Debug("loud")
+	if !strings.Contains(buf.String(), "msg=loud") {
+		t.Errorf("verbose logger dropped debug record: %q", buf.String())
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	err := Usagef("bad flag %q", "-x")
+	if !IsUsage(err) {
+		t.Error("Usagef result not recognized by IsUsage")
+	}
+	if err.Error() != `bad flag "-x"` {
+		t.Errorf("Error() = %q", err.Error())
+	}
+	wrapped := fmt.Errorf("parsing: %w", err)
+	if !IsUsage(wrapped) {
+		t.Error("wrapped usage error not recognized")
+	}
+	if IsUsage(fmt.Errorf("plain")) {
+		t.Error("plain error recognized as usage error")
+	}
+}
+
+func TestFail(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, false)
+
+	usageCalled := false
+	code := Fail(log, Usagef("need an app"), func() { usageCalled = true })
+	if code != 2 || !usageCalled {
+		t.Errorf("usage error: code=%d usageCalled=%v, want 2/true", code, usageCalled)
+	}
+	if !strings.Contains(buf.String(), "need an app") {
+		t.Errorf("error not logged: %q", buf.String())
+	}
+
+	usageCalled = false
+	code = Fail(log, fmt.Errorf("boom"), func() { usageCalled = true })
+	if code != 1 || usageCalled {
+		t.Errorf("plain error: code=%d usageCalled=%v, want 1/false", code, usageCalled)
+	}
+
+	// nil usage callback must not panic.
+	if code := Fail(log, Usagef("x"), nil); code != 2 {
+		t.Errorf("nil usage callback: code=%d, want 2", code)
+	}
+}
+
+func TestStartHeartbeat(t *testing.T) {
+	var mu syncBuffer
+	log := NewLogger(&mu, false)
+	stop := StartHeartbeat(log, time.Millisecond, func() string { return "cell 3/10" })
+	defer stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(mu.String(), "cell 3/10") {
+			stop()
+			stop() // idempotent
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no heartbeat within 2s: %q", mu.String())
+}
+
+func TestStartHeartbeatDisabled(t *testing.T) {
+	stop := StartHeartbeat(NewLogger(&bytes.Buffer{}, false), 0, func() string { return "" })
+	stop() // no-op, must not panic
+}
+
+// syncBuffer is a bytes.Buffer safe for the heartbeat goroutine to write
+// while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

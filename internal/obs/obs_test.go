@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMissClassStrings(t *testing.T) {
+	want := map[MissClass]string{
+		MissCompulsory:    "compulsory",
+		MissConflictIntra: "conflict-intra",
+		MissConflictInter: "conflict-inter",
+		MissInvalidation:  "invalidation",
+		NumMissClasses:    "unknown",
+	}
+	for c, s := range want {
+		if got := c.String(); got != s {
+			t.Errorf("MissClass(%d).String() = %q, want %q", c, got, s)
+		}
+	}
+}
+
+// playScript drives p through a small fixed run: two threads on two
+// processors, a hit, a miss with an invalidation, a blocking transaction,
+// and both finishes.
+func playScript(p Probe) {
+	p.RunBegin(RunMeta{App: "toy", Algorithm: "RANDOM", Engine: "fast", Processors: 2, Threads: 2})
+	p.ThreadRun(0, 0, 0)
+	p.ThreadRun(0, 1, 1)
+	p.QueueDepth(0, 2)
+	p.CacheHit(5, 0, 0)
+	p.QueueDepth(6, 2)
+	p.CacheMiss(10, 1, 1, MissInvalidation)
+	p.PairTraffic(10, 0, 1)
+	p.Invalidation(10, 1, 0)
+	p.PairTraffic(10, 1, 0)
+	p.ThreadPause(10, 1, 1, 40)
+	p.ContextSwitch(10, 1)
+	p.Update(12, 0, 1)
+	p.PairTraffic(12, 0, 1)
+	p.ThreadFinish(20, 0, 0)
+	p.QueueDepth(20, 1)
+	p.ThreadFinish(40, 1, 1)
+	p.RunEnd(40)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	playScript(&c)
+
+	if c.Runs != 1 {
+		t.Errorf("Runs = %d, want 1", c.Runs)
+	}
+	if c.ThreadRuns != 2 || c.Pauses != 1 || c.Finishes != 2 {
+		t.Errorf("lifecycle counts = %d/%d/%d, want 2/1/2", c.ThreadRuns, c.Pauses, c.Finishes)
+	}
+	if c.Hits != 1 || c.TotalMisses() != 1 || c.Misses[MissInvalidation] != 1 {
+		t.Errorf("cache counts = hits %d misses %v", c.Hits, c.Misses)
+	}
+	if c.Invalidations != 1 || c.Updates != 1 || c.Pair != 3 || c.Switches != 1 {
+		t.Errorf("coherence counts = %d/%d/%d/%d, want 1/1/3/1",
+			c.Invalidations, c.Updates, c.Pair, c.Switches)
+	}
+	if c.QueueSamples != 3 || c.MaxQueueDepth != 2 {
+		t.Errorf("queue stats = %d samples max %d, want 3 max 2", c.QueueSamples, c.MaxQueueDepth)
+	}
+	if c.ExecTime != 40 {
+		t.Errorf("ExecTime = %d, want 40", c.ExecTime)
+	}
+	if c.Meta.App != "toy" || c.Meta.Processors != 2 {
+		t.Errorf("Meta = %+v", c.Meta)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if got := Multi(); got != nil {
+		t.Errorf("Multi() = %v, want nil", got)
+	}
+	if got := Multi(nil, nil); got != nil {
+		t.Errorf("Multi(nil, nil) = %v, want nil", got)
+	}
+
+	var c Counter
+	if got := Multi(nil, &c, nil); got != Probe(&c) {
+		t.Errorf("Multi with one live probe should unwrap it, got %T", got)
+	}
+
+	// Two counters through one Multi must both see every event.
+	var a, b Counter
+	playScript(Multi(&a, nil, &b))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fanned-out counters diverged:\n  a %+v\n  b %+v", a, b)
+	}
+	if a.Runs != 1 || a.Pair != 3 {
+		t.Errorf("fanned-out counter missed events: %+v", a)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs/obstest"
+)
+
+// TestPerfettoGolden locks the exporter's exact JSON against
+// testdata/perfetto.json: the trace-event schema is consumed by an
+// external tool (Perfetto), so any drift in field names, event phases or
+// metadata must be deliberate. Run with UPDATE_GOLDEN=1 to regenerate.
+func TestPerfettoGolden(t *testing.T) {
+	tr := NewTracer()
+	playScript(tr)
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "perfetto.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exporter output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestPerfettoSchema validates the exported JSON against the trace-event
+// format contract: a traceEvents array whose records all carry name/ph/
+// ts/pid/tid, "X" slices carry dur, instants carry a scope, and counter
+// events carry numeric args.
+func TestPerfettoSchema(t *testing.T) {
+	tr := NewTracer()
+	playScript(tr)
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	obstest.CheckTraceEventJSON(t, buf.Bytes())
+}
+
+func TestTracerSlices(t *testing.T) {
+	tr := NewTracer()
+	tr.RunBegin(RunMeta{App: "toy", Processors: 1, Threads: 1})
+	tr.ThreadRun(0, 0, 0)
+	tr.ThreadPause(30, 0, 0, 80) // run [0,30) then stall [30,80)
+	tr.ThreadRun(80, 0, 0)
+	tr.RunEnd(100) // open run slice [80,100) closes at exec time
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	type slice struct {
+		name    string
+		ts, dur uint64
+	}
+	var got []slice
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" {
+			got = append(got, slice{ev.Name, ev.Ts, *ev.Dur})
+		}
+	}
+	want := []slice{
+		{"run", 0, 30},
+		{"stall", 30, 50},
+		{"run", 80, 20},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("slices = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("slice %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

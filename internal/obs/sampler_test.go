@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSamplerWindowEdges(t *testing.T) {
+	s := NewSampler(100)
+	s.RunBegin(RunMeta{App: "toy", Threads: 1, Processors: 1})
+
+	// Half-open windows: t=99 is window 0, t=100 is window 1.
+	s.CacheHit(99, 0, 0)
+	s.CacheMiss(100, 0, 0, MissCompulsory)
+	s.RunEnd(150)
+
+	w := s.Samples()
+	if len(w) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(w), w)
+	}
+	if w[0].Start != 0 || w[0].End != 100 || w[0].Hits != 1 || w[0].TotalMisses() != 0 {
+		t.Errorf("window 0 = %+v, want [0,100) with 1 hit", w[0])
+	}
+	if w[1].Start != 100 || w[1].End != 150 || w[1].Misses[MissCompulsory] != 1 {
+		t.Errorf("window 1 = %+v, want [100,150) with 1 compulsory miss", w[1])
+	}
+}
+
+func TestSamplerFinalPartialWindow(t *testing.T) {
+	s := NewSampler(1000)
+	s.RunBegin(RunMeta{App: "toy", Threads: 1, Processors: 1})
+	s.CacheHit(10, 0, 0)
+	s.RunEnd(2500)
+
+	w := s.Samples()
+	if len(w) != 3 {
+		t.Fatalf("got %d windows, want 3 covering [0,2500)", len(w))
+	}
+	if w[2].Start != 2000 || w[2].End != 2500 {
+		t.Errorf("final window = [%d,%d), want [2000,2500)", w[2].Start, w[2].End)
+	}
+	// Middle window is empty but materialized so the series has no gaps.
+	if w[1].Refs != 0 || w[1].Start != 1000 || w[1].End != 2000 {
+		t.Errorf("middle window = %+v, want empty [1000,2000)", w[1])
+	}
+}
+
+func TestSamplerExactMultipleEndsInZeroWidthWindow(t *testing.T) {
+	s := NewSampler(100)
+	s.RunBegin(RunMeta{App: "toy", Threads: 1, Processors: 1})
+	s.CacheHit(50, 0, 0)
+	// The final completion lands exactly on the window boundary.
+	s.ThreadFinish(200, 0, 0)
+	s.RunEnd(200)
+
+	w := s.Samples()
+	if len(w) != 3 {
+		t.Fatalf("got %d windows, want 3", len(w))
+	}
+	last := w[len(w)-1]
+	if last.Start != 200 || last.End != 200 {
+		t.Errorf("terminal window = [%d,%d), want zero-width [200,200)", last.Start, last.End)
+	}
+	if last.Occupancy() != 0 {
+		t.Errorf("zero-width window occupancy = %v, want 0", last.Occupancy())
+	}
+}
+
+func TestSamplerBusyIntegration(t *testing.T) {
+	s := NewSampler(100)
+	s.RunBegin(RunMeta{App: "toy", Threads: 2, Processors: 2})
+
+	// Thread 0 runs [50, 250): 50 cycles in window 0, 100 in window 1,
+	// 50 in window 2.
+	s.ThreadRun(50, 0, 0)
+	s.ThreadPause(250, 0, 0, 300)
+	// Thread 1 runs [0, 100) entirely inside window 0.
+	s.ThreadRun(0, 1, 1)
+	s.ThreadFinish(100, 1, 1)
+	// Thread 0 resumes and is still running at RunEnd: the open slice
+	// [300, 310) closes at the execution time.
+	s.ThreadRun(300, 0, 0)
+	s.RunEnd(310)
+
+	w := s.Samples()
+	wantBusy := []uint64{150, 100, 50, 10}
+	if len(w) != len(wantBusy) {
+		t.Fatalf("got %d windows, want %d", len(w), len(wantBusy))
+	}
+	for i, want := range wantBusy {
+		if w[i].BusyCycles != want {
+			t.Errorf("window %d busy = %d, want %d", i, w[i].BusyCycles, want)
+		}
+	}
+	// Window 0 had 1.5 contexts running on average.
+	if got := w[0].Occupancy(); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("window 0 occupancy = %v, want 1.5", got)
+	}
+}
+
+func TestSamplerQueueAndRates(t *testing.T) {
+	s := NewSampler(100)
+	s.RunBegin(RunMeta{App: "toy", Threads: 1, Processors: 1})
+	s.QueueDepth(0, 4)
+	s.QueueDepth(10, 2)
+	s.CacheHit(10, 0, 0)
+	s.CacheMiss(20, 0, 0, MissInvalidation)
+	s.PairTraffic(20, 1, 0)
+	s.RunEnd(50)
+
+	w := s.Samples()
+	if len(w) != 1 {
+		t.Fatalf("got %d windows, want 1", len(w))
+	}
+	if got := w[0].QueueMean(); got != 3 {
+		t.Errorf("QueueMean = %v, want 3", got)
+	}
+	if w[0].QueueMax != 4 {
+		t.Errorf("QueueMax = %d, want 4", w[0].QueueMax)
+	}
+	if got := w[0].MissRate(); got != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", got)
+	}
+
+	// Out-of-order emission lands in the right bucket regardless.
+	s2 := NewSampler(100)
+	s2.RunBegin(RunMeta{App: "toy", Threads: 1, Processors: 1})
+	s2.CacheMiss(150, 0, 0, MissCompulsory)
+	s2.CacheHit(20, 0, 0) // earlier than the previous event
+	s2.RunEnd(200)
+	w2 := s2.Samples()
+	if w2[0].Hits != 1 || w2[1].Misses[MissCompulsory] != 1 {
+		t.Errorf("out-of-order bucketing failed: %+v", w2)
+	}
+}
+
+func TestSamplerRendering(t *testing.T) {
+	s := NewSampler(100)
+	playScript(s)
+
+	tab := s.Table()
+	if len(tab.Rows) != len(s.Samples()) {
+		t.Errorf("table rows %d != samples %d", len(tab.Rows), len(s.Samples()))
+	}
+	if !strings.Contains(tab.Title, "toy") || !strings.Contains(tab.Title, "100-cycle") {
+		t.Errorf("table title %q missing run identity", tab.Title)
+	}
+
+	ts := s.TimeSeries()
+	if len(ts.Series) != 4 {
+		t.Fatalf("got %d series, want 4", len(ts.Series))
+	}
+	for _, sr := range ts.Series {
+		if len(sr.Points) != len(s.Samples()) {
+			t.Errorf("series %s has %d points, want %d", sr.Name, len(sr.Points), len(s.Samples()))
+		}
+	}
+	if ts.Step != 100 {
+		t.Errorf("Step = %d, want 100", ts.Step)
+	}
+}
+
+func TestSamplerReuseAcrossRuns(t *testing.T) {
+	s := NewSampler(100)
+	playScript(s)
+	first := s.Samples()
+
+	playScript(s) // RunBegin must reset state
+	second := s.Samples()
+
+	if len(first) != len(second) {
+		t.Fatalf("run lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("window %d differs across identical runs:\n  first  %+v\n  second %+v",
+				i, first[i], second[i])
+		}
+	}
+}
+
+func TestNewSamplerPanicsOnZeroWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSampler(0) did not panic")
+		}
+	}()
+	NewSampler(0)
+}

@@ -1,0 +1,150 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TimeSeries is a set of aligned series sampled on a fixed step — the
+// report-layer form of the simulator's interval sampler output. It
+// renders as CSV (one record per step) and as an SVG column of
+// sparklines (one row per series, min/max/last annotated).
+type TimeSeries struct {
+	// Title is printed above the sparklines.
+	Title string
+	// Start is the first sample's time; Step the distance between
+	// samples (simulated cycles).
+	Start, Step uint64
+	// Series are the aligned series; all should have equal length (short
+	// ones render/export as missing values).
+	Series []Series
+}
+
+// Series is one named sequence of samples.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Len returns the longest series length.
+func (ts *TimeSeries) Len() int {
+	n := 0
+	for _, s := range ts.Series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	return n
+}
+
+// WriteCSV writes one record per step: the window start time followed by
+// every series' value at that step.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(ts.Series)+1)
+	header = append(header, "start")
+	for _, s := range ts.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := ts.Len()
+	rec := make([]string, len(header))
+	for i := 0; i < n; i++ {
+		rec[0] = fmt.Sprint(ts.Start + uint64(i)*ts.Step)
+		for j, s := range ts.Series {
+			if i < len(s.Points) {
+				rec[j+1] = F(s.Points[i], 6)
+			} else {
+				rec[j+1] = ""
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Sparkline SVG layout constants.
+const (
+	sparkRowHeight   = 44
+	sparkRowGap      = 10
+	sparkLabelWidth  = 180
+	sparkPlotWidth   = 560
+	sparkValueWidth  = 96
+	sparkMarginTop   = 34
+	sparkMarginLeft  = 16
+	sparkMarginRight = 16
+	sparkMarginBot   = 12
+)
+
+// WriteSVG renders the series as a stacked column of sparklines: each row
+// a polyline scaled to its own [min, max], annotated with the series name
+// on the left and min/max/last values on the right.
+func (ts *TimeSeries) WriteSVG(w io.Writer) error {
+	height := sparkMarginTop + sparkMarginBot +
+		len(ts.Series)*(sparkRowHeight+sparkRowGap)
+	width := sparkMarginLeft + sparkLabelWidth + sparkPlotWidth + sparkValueWidth + sparkMarginRight
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<style>text{font-family:sans-serif;font-size:11px;fill:#222}.title{font-size:14px;font-weight:bold}.val{font-size:10px;fill:#666}</style>` + "\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" class="title">%s</text>`+"\n", sparkMarginLeft, svgEscape(ts.Title))
+
+	y := sparkMarginTop
+	for i, s := range ts.Series {
+		color := svgPalette[i%len(svgPalette)]
+		min, max := 0.0, 0.0
+		for j, v := range s.Points {
+			if j == 0 || v < min {
+				min = v
+			}
+			if j == 0 || v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			sparkMarginLeft, y+sparkRowHeight/2+4, svgEscape(s.Name))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f7f7f7"/>`+"\n",
+			sparkMarginLeft+sparkLabelWidth, y, sparkPlotWidth, sparkRowHeight)
+		if n := len(s.Points); n > 0 {
+			span := max - min
+			if span <= 0 {
+				span = 1
+			}
+			var pts strings.Builder
+			for j, v := range s.Points {
+				x := float64(sparkMarginLeft + sparkLabelWidth)
+				if n > 1 {
+					x += float64(j) / float64(n-1) * float64(sparkPlotWidth)
+				}
+				py := float64(y+sparkRowHeight-3) - (v-min)/span*float64(sparkRowHeight-6)
+				if j > 0 {
+					pts.WriteByte(' ')
+				}
+				fmt.Fprintf(&pts, "%.1f,%.1f", x, py)
+			}
+			if n == 1 {
+				fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="2" fill="%s"/>`+"\n",
+					sparkMarginLeft+sparkLabelWidth, y+sparkRowHeight/2, color)
+			} else {
+				fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+					color, pts.String())
+			}
+			fmt.Fprintf(&b, `<text x="%d" y="%d" class="val">min %s  max %s  last %s</text>`+"\n",
+				sparkMarginLeft+sparkLabelWidth+sparkPlotWidth+6, y+sparkRowHeight/2+4,
+				F(min, 3), F(max, 3), F(s.Points[n-1], 3))
+		}
+		y += sparkRowHeight + sparkRowGap
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sampleSeries() *TimeSeries {
+	return &TimeSeries{
+		Title: "toy run",
+		Step:  100,
+		Series: []Series{
+			{Name: "miss_rate_%", Points: []float64{1.5, 2.25, 0}},
+			{Name: "occupancy", Points: []float64{3, 2}},
+		},
+	}
+}
+
+func TestTimeSeriesLen(t *testing.T) {
+	if got := sampleSeries().Len(); got != 3 {
+		t.Errorf("Len() = %d, want 3 (longest series)", got)
+	}
+	empty := &TimeSeries{}
+	if got := empty.Len(); got != 0 {
+		t.Errorf("empty Len() = %d, want 0", got)
+	}
+}
+
+func TestTimeSeriesWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSeries().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want header + 3 rows", len(recs))
+	}
+	wantHeader := []string{"start", "miss_rate_%", "occupancy"}
+	for i, h := range wantHeader {
+		if recs[0][i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, recs[0][i], h)
+		}
+	}
+	if recs[1][0] != "0" || recs[2][0] != "100" || recs[3][0] != "200" {
+		t.Errorf("start column = %v %v %v, want 0 100 200", recs[1][0], recs[2][0], recs[3][0])
+	}
+	if recs[2][1] != "2.250000" {
+		t.Errorf("miss_rate row 2 = %q, want 2.250000", recs[2][1])
+	}
+	// The short series exports an empty cell past its end.
+	if recs[3][2] != "" {
+		t.Errorf("short series padding = %q, want empty", recs[3][2])
+	}
+}
+
+func TestTimeSeriesWriteSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSeries().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg xmlns=") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Errorf("not an SVG document: %.60q ... %.20q", svg, svg[max(0, len(svg)-20):])
+	}
+	for _, want := range []string{"toy run", "miss_rate_%", "occupancy", "<polyline"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One sparkline row per series, annotated with min/max/last.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("got %d polylines, want 2", got)
+	}
+	if !strings.Contains(svg, "min 0.000  max 2.250  last 0.000") {
+		t.Errorf("missing min/max/last annotation in:\n%s", svg)
+	}
+
+	// A single-point series renders as a dot, not a polyline.
+	one := &TimeSeries{Series: []Series{{Name: "solo", Points: []float64{5}}}}
+	buf.Reset()
+	if err := one.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<circle") {
+		t.Error("single-point series did not render a circle")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trace"
 )
@@ -45,6 +46,12 @@ func (p SchedulePolicy) String() string {
 // static runs. Because context-free events occur in deterministic global
 // time order, the simulation is reproducible.
 func RunDynamic(tr *trace.Trace, cfg Config, policy SchedulePolicy) (*Result, error) {
+	return RunDynamicObserved(tr, cfg, policy, nil)
+}
+
+// RunDynamicObserved is RunDynamic with an observation probe attached (see
+// RunObserved). A nil probe is exactly RunDynamic.
+func RunDynamicObserved(tr *trace.Trace, cfg Config, policy SchedulePolicy, probe obs.Probe) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,6 +99,7 @@ func RunDynamic(tr *trace.Trace, cfg Config, policy SchedulePolicy) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	m.probe = probe
 	return m.run(tr, pl, 0)
 }
 

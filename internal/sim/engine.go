@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trace"
 )
@@ -100,6 +101,10 @@ type machine struct {
 	// processor to free a context.
 	dynamic  bool
 	dynQueue []dynThread
+	// probe, when non-nil, receives observability events. Probes never
+	// influence simulation state: probe-on and probe-off runs produce
+	// deeply equal Results (asserted by the differential suite).
+	probe obs.Probe
 }
 
 // Engine selects one of the two simulation engine implementations. Both
@@ -140,18 +145,30 @@ func Run(tr *trace.Trace, pl *placement.Placement, cfg Config) (*Result, error) 
 // bit-for-bit interchangeable; ReferenceEngine exists as the slower oracle
 // the differential tests compare FastEngine against.
 func RunEngine(tr *trace.Trace, pl *placement.Placement, cfg Config, eng Engine) (*Result, error) {
+	return RunObserved(tr, pl, cfg, eng, nil)
+}
+
+// RunObserved is RunEngine with an observability probe attached: the
+// engine reports thread scheduling, cache hits and misses, coherence
+// messages, context switches and event-queue depth to the probe as they
+// happen. A nil probe is the plain RunEngine hot path (no per-event cost
+// beyond one nil check per emission site); any probe leaves the Result
+// bit-identical to the unobserved run.
+func RunObserved(tr *trace.Trace, pl *placement.Placement, cfg Config, eng Engine, probe obs.Probe) (*Result, error) {
 	switch eng {
 	case ReferenceEngine:
 		m, err := newMachine(tr, pl, cfg)
 		if err != nil {
 			return nil, err
 		}
+		m.probe = probe
 		return m.run(tr, pl, 0)
 	case FastEngine:
 		m, err := newFastMachine(tr, pl, cfg)
 		if err != nil {
 			return nil, err
 		}
+		m.probe = probe
 		return m.run(tr, pl)
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %d", eng)
@@ -251,6 +268,12 @@ func (m *machine) admitNext(p *proc) {
 
 func (m *machine) run(tr *trace.Trace, pl *placement.Placement, checkEvery int) (*Result, error) {
 	heap.Init(&m.h)
+	if m.probe != nil {
+		m.probe.RunBegin(obs.RunMeta{
+			App: tr.App, Algorithm: pl.Algorithm, Engine: ReferenceEngine.String(),
+			Processors: len(m.procs), Threads: tr.NumThreads(),
+		})
+	}
 	for _, p := range m.procs {
 		if p.done < len(p.ctxs) {
 			m.scheduleNext(p, 0)
@@ -262,6 +285,9 @@ func (m *machine) run(tr *trace.Trace, pl *placement.Placement, checkEvery int) 
 		p := m.procs[ev.proc]
 		if ev.seq != p.seq {
 			continue
+		}
+		if m.probe != nil {
+			m.probe.QueueDepth(ev.time, m.h.Len())
 		}
 		if p.running < 0 {
 			m.scheduleNext(p, ev.time)
@@ -298,6 +324,9 @@ func (m *machine) run(tr *trace.Trace, pl *placement.Placement, checkEvery int) 
 	if m.wr != nil {
 		res.WriteRuns = m.wr.stats()
 	}
+	if m.probe != nil {
+		m.probe.RunEnd(res.ExecTime)
+	}
 	return res, nil
 }
 
@@ -326,6 +355,9 @@ func (m *machine) scheduleNext(p *proc, t uint64) {
 		p.running = chosen
 		c := p.ctxs[chosen]
 		c.state = ctxRunning
+		if m.probe != nil {
+			m.probe.ThreadRun(t, p.id, c.thread)
+		}
 		gap := uint64(c.pending.Gap)
 		p.stats.Busy += gap
 		m.push(t+gap, p)
@@ -398,7 +430,7 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 		// Upgrade with remote sharers: a network transaction (stall +
 		// switch) but not a miss.
 		p.stats.Upgrades++
-		m.invalidateOthers(p, en, block)
+		m.invalidateOthers(p, en, block, t)
 		en.owner = int32(p.id)
 		p.cache.setState(block, modified)
 		m.completeTransaction(p, c, t)
@@ -408,9 +440,15 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 	// Miss.
 	kind := p.cache.classifyMiss(block, c.idx)
 	p.stats.Misses[kind]++
+	if m.probe != nil {
+		m.probe.CacheMiss(t, p.id, c.thread, obs.MissClass(kind))
+	}
 	if kind == InvalidationMiss {
 		if by, ok := p.cache.invalidator(block); ok {
 			m.pair[by][p.id]++
+			if m.probe != nil {
+				m.probe.PairTraffic(t, int(by), p.id)
+			}
 		}
 	}
 
@@ -422,6 +460,9 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 			owner.cache.setState(block, shared)
 			owner.stats.Writebacks++
 			m.pair[p.id][owner.id]++
+			if m.probe != nil {
+				m.probe.PairTraffic(t, p.id, owner.id)
+			}
 			en.owner = -1
 		}
 		en.add(p.id)
@@ -440,11 +481,15 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 				owner.stats.InvalidationsReceived++
 				p.stats.InvalidationsSent++
 				m.pair[p.id][owner.id]++
+				if m.probe != nil {
+					m.probe.Invalidation(t, p.id, owner.id)
+					m.probe.PairTraffic(t, p.id, owner.id)
+				}
 			}
 			en.remove(owner.id)
 			en.owner = -1
 		}
-		m.invalidateOthers(p, en, block)
+		m.invalidateOthers(p, en, block, t)
 		en.add(p.id)
 		en.owner = int32(p.id)
 		m.fill(p, c, block, modified)
@@ -454,13 +499,17 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 
 // invalidateOthers invalidates every remote sharer of block and updates
 // the directory so p is the only sharer.
-func (m *machine) invalidateOthers(p *proc, en *dirEntry, block uint64) {
+func (m *machine) invalidateOthers(p *proc, en *dirEntry, block uint64, t uint64) {
 	en.others(p.id, func(q int) {
 		victim := m.procs[q]
 		if present, _ := victim.cache.invalidate(block, int32(p.id)); present {
 			victim.stats.InvalidationsReceived++
 			p.stats.InvalidationsSent++
 			m.pair[p.id][q]++
+			if m.probe != nil {
+				m.probe.Invalidation(t, p.id, q)
+				m.probe.PairTraffic(t, p.id, q)
+			}
 		}
 	})
 	en.clearSharers()
@@ -476,6 +525,10 @@ func (m *machine) updateOthers(p *proc, en *dirEntry, t uint64) {
 		m.procs[q].stats.UpdatesReceived++
 		p.stats.UpdatesSent++
 		m.pair[p.id][q]++
+		if m.probe != nil {
+			m.probe.Update(t, p.id, q)
+			m.probe.PairTraffic(t, p.id, q)
+		}
 	})
 }
 
@@ -500,6 +553,9 @@ func (m *machine) fill(p *proc, c *context, block uint64, st lineState) {
 // completeHit charges the hit and advances the context in place.
 func (m *machine) completeHit(p *proc, c *context, t uint64) {
 	p.stats.Hits++
+	if m.probe != nil {
+		m.probe.CacheHit(t, p.id, c.thread)
+	}
 	p.stats.Busy += m.cfg.HitCycles
 	done := t + m.cfg.HitCycles
 	if next, ok := c.cur.Next(); ok {
@@ -516,6 +572,9 @@ func (m *machine) completeHit(p *proc, c *context, t uint64) {
 	if done > p.stats.Finish {
 		p.stats.Finish = done
 	}
+	if m.probe != nil {
+		m.probe.ThreadFinish(done, p.id, c.thread)
+	}
 	if m.dynamic {
 		m.pullDynamic(p)
 	}
@@ -526,6 +585,9 @@ func (m *machine) completeHit(p *proc, c *context, t uint64) {
 	}
 	// Switch to another context (pipeline drain applies).
 	p.stats.Switch += m.cfg.SwitchCycles
+	if m.probe != nil {
+		m.probe.ContextSwitch(done, p.id)
+	}
 	m.scheduleNext(p, done+m.cfg.SwitchCycles)
 }
 
@@ -558,6 +620,9 @@ func (m *machine) completeTransaction(p *proc, c *context, t uint64) {
 	wait := m.acquireChannel(t)
 	p.stats.NetworkWait += wait
 	done := t + wait + m.cfg.MemLatency
+	if m.probe != nil {
+		m.probe.ThreadPause(t, p.id, c.thread, done)
+	}
 	if next, ok := c.cur.Next(); ok {
 		c.pending = next
 		c.state = ctxBlocked
@@ -570,12 +635,18 @@ func (m *machine) completeTransaction(p *proc, c *context, t uint64) {
 		if done > p.stats.Finish {
 			p.stats.Finish = done
 		}
+		if m.probe != nil {
+			m.probe.ThreadFinish(done, p.id, c.thread)
+		}
 		if m.dynamic {
 			m.pullDynamic(p)
 		}
 		m.admitNext(p)
 	}
 	p.stats.Switch += m.cfg.SwitchCycles
+	if m.probe != nil {
+		m.probe.ContextSwitch(t, p.id)
+	}
 	m.scheduleNext(p, t+m.cfg.SwitchCycles)
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trace"
 )
@@ -53,6 +54,10 @@ type fastMachine struct {
 	// fan-out; it grows to the maximum sharer count once and is then
 	// reused for every transaction.
 	scratch []int32
+	// probe, when non-nil, receives observability events at the same
+	// call sites as the reference engine. Probes never influence
+	// simulation state.
+	probe obs.Probe
 }
 
 func newFastMachine(tr *trace.Trace, pl *placement.Placement, cfg Config) (*fastMachine, error) {
@@ -141,6 +146,12 @@ func (m *fastMachine) admitNext(p *fastProc) {
 }
 
 func (m *fastMachine) run(tr *trace.Trace, pl *placement.Placement) (*Result, error) {
+	if m.probe != nil {
+		m.probe.RunBegin(obs.RunMeta{
+			App: tr.App, Algorithm: pl.Algorithm, Engine: FastEngine.String(),
+			Processors: len(m.procs), Threads: tr.NumThreads(),
+		})
+	}
 	for i := range m.procs {
 		p := &m.procs[i]
 		if p.done < len(p.ctxs) {
@@ -152,6 +163,9 @@ func (m *fastMachine) run(tr *trace.Trace, pl *placement.Placement) (*Result, er
 		p := &m.procs[ev.proc]
 		if ev.seq != p.seq {
 			continue
+		}
+		if m.probe != nil {
+			m.probe.QueueDepth(ev.time, m.h.len())
 		}
 		if p.running < 0 {
 			m.scheduleNext(p, ev.time)
@@ -177,6 +191,9 @@ func (m *fastMachine) run(tr *trace.Trace, pl *placement.Placement) (*Result, er
 	}
 	if m.wr != nil {
 		res.WriteRuns = m.wr.stats()
+	}
+	if m.probe != nil {
+		m.probe.RunEnd(res.ExecTime)
 	}
 	return res, nil
 }
@@ -209,6 +226,9 @@ func (m *fastMachine) scheduleNext(p *fastProc, t uint64) {
 		p.running = chosen
 		c := &p.ctxs[chosen]
 		c.state = ctxRunning
+		if m.probe != nil {
+			m.probe.ThreadRun(t, p.id, c.thread)
+		}
 		gap := uint64(c.pending.Gap)
 		p.stats.Busy += gap
 		m.push(t+gap, p)
@@ -278,7 +298,7 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 		// Upgrade with remote sharers: a network transaction (stall +
 		// switch) but not a miss.
 		p.stats.Upgrades++
-		m.invalidateOthers(p, ei, block)
+		m.invalidateOthers(p, ei, block, t)
 		m.dir.setOwner(ei, int32(p.id))
 		p.cache.setState(block, modified)
 		m.completeTransaction(p, c, t)
@@ -288,9 +308,15 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 	// Miss.
 	kind := p.cache.classifyMiss(block, c.idx)
 	p.stats.Misses[kind]++
+	if m.probe != nil {
+		m.probe.CacheMiss(t, p.id, c.thread, obs.MissClass(kind))
+	}
 	if kind == InvalidationMiss {
 		if by, ok := p.cache.invalidator(block); ok {
 			m.pair[by][p.id]++
+			if m.probe != nil {
+				m.probe.PairTraffic(t, int(by), p.id)
+			}
 		}
 	}
 
@@ -302,6 +328,9 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 			owner.cache.setState(block, shared)
 			owner.stats.Writebacks++
 			m.pair[p.id][owner.id]++
+			if m.probe != nil {
+				m.probe.PairTraffic(t, p.id, owner.id)
+			}
 			m.dir.setOwner(ei, -1)
 		}
 		m.dir.add(ei, p.id)
@@ -320,11 +349,15 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 				owner.stats.InvalidationsReceived++
 				p.stats.InvalidationsSent++
 				m.pair[p.id][owner.id]++
+				if m.probe != nil {
+					m.probe.Invalidation(t, p.id, owner.id)
+					m.probe.PairTraffic(t, p.id, owner.id)
+				}
 			}
 			m.dir.remove(ei, owner.id)
 			m.dir.setOwner(ei, -1)
 		}
-		m.invalidateOthers(p, ei, block)
+		m.invalidateOthers(p, ei, block, t)
 		m.dir.add(ei, p.id)
 		m.dir.setOwner(ei, int32(p.id))
 		m.fill(p, c, block, modified)
@@ -336,7 +369,7 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 // updates the directory so p is the only sharer. The sharer set is
 // gathered into the machine's scratch buffer first (same ascending order
 // as the reference directory's callback iteration).
-func (m *fastMachine) invalidateOthers(p *fastProc, ei int32, block uint64) {
+func (m *fastMachine) invalidateOthers(p *fastProc, ei int32, block uint64, t uint64) {
 	m.scratch = m.dir.appendOthers(ei, p.id, m.scratch[:0])
 	for _, q := range m.scratch {
 		victim := &m.procs[q]
@@ -344,6 +377,10 @@ func (m *fastMachine) invalidateOthers(p *fastProc, ei int32, block uint64) {
 			victim.stats.InvalidationsReceived++
 			p.stats.InvalidationsSent++
 			m.pair[p.id][q]++
+			if m.probe != nil {
+				m.probe.Invalidation(t, p.id, int(q))
+				m.probe.PairTraffic(t, p.id, int(q))
+			}
 		}
 	}
 	m.dir.clearSharers(ei)
@@ -359,6 +396,10 @@ func (m *fastMachine) updateOthers(p *fastProc, ei int32, t uint64) {
 		m.procs[q].stats.UpdatesReceived++
 		p.stats.UpdatesSent++
 		m.pair[p.id][q]++
+		if m.probe != nil {
+			m.probe.Update(t, p.id, int(q))
+			m.probe.PairTraffic(t, p.id, int(q))
+		}
 	}
 }
 
@@ -383,6 +424,9 @@ func (m *fastMachine) fill(p *fastProc, c *context, block uint64, st lineState) 
 // completeHit charges the hit and advances the context in place.
 func (m *fastMachine) completeHit(p *fastProc, c *context, t uint64) {
 	p.stats.Hits++
+	if m.probe != nil {
+		m.probe.CacheHit(t, p.id, c.thread)
+	}
 	p.stats.Busy += m.cfg.HitCycles
 	done := t + m.cfg.HitCycles
 	if next, ok := c.cur.Next(); ok {
@@ -399,6 +443,9 @@ func (m *fastMachine) completeHit(p *fastProc, c *context, t uint64) {
 	if done > p.stats.Finish {
 		p.stats.Finish = done
 	}
+	if m.probe != nil {
+		m.probe.ThreadFinish(done, p.id, c.thread)
+	}
 	m.admitNext(p)
 	if p.done == len(p.ctxs) {
 		p.running = -1
@@ -406,6 +453,9 @@ func (m *fastMachine) completeHit(p *fastProc, c *context, t uint64) {
 	}
 	// Switch to another context (pipeline drain applies).
 	p.stats.Switch += m.cfg.SwitchCycles
+	if m.probe != nil {
+		m.probe.ContextSwitch(done, p.id)
+	}
 	m.scheduleNext(p, done+m.cfg.SwitchCycles)
 }
 
@@ -436,6 +486,9 @@ func (m *fastMachine) completeTransaction(p *fastProc, c *context, t uint64) {
 	wait := m.acquireChannel(t)
 	p.stats.NetworkWait += wait
 	done := t + wait + m.cfg.MemLatency
+	if m.probe != nil {
+		m.probe.ThreadPause(t, p.id, c.thread, done)
+	}
 	if next, ok := c.cur.Next(); ok {
 		c.pending = next
 		c.state = ctxBlocked
@@ -448,8 +501,14 @@ func (m *fastMachine) completeTransaction(p *fastProc, c *context, t uint64) {
 		if done > p.stats.Finish {
 			p.stats.Finish = done
 		}
+		if m.probe != nil {
+			m.probe.ThreadFinish(done, p.id, c.thread)
+		}
 		m.admitNext(p)
 	}
 	p.stats.Switch += m.cfg.SwitchCycles
+	if m.probe != nil {
+		m.probe.ContextSwitch(t, p.id)
+	}
 	m.scheduleNext(p, t+m.cfg.SwitchCycles)
 }
