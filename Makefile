@@ -1,10 +1,11 @@
-# Standard entry points. `make verify` is the CI tier: static vetting plus
-# the full test suite under the race detector (the Suite's lazy caches and
-# concurrent sweeps must stay clean).
+# Standard entry points. `make verify` is the CI tier: static vetting
+# (go vet, the project's own mtlint analyzers, gofmt) plus the full test
+# suite under the race detector (the Suite's lazy caches and concurrent
+# sweeps must stay clean).
 
 GO ?= go
 
-.PHONY: build test verify bench benchsim fuzz golden
+.PHONY: build test verify lint bench benchsim fuzz golden
 
 build:
 	$(GO) build ./...
@@ -12,8 +13,16 @@ build:
 test:
 	$(GO) test ./...
 
+# Project-specific static analysis: hotpath, probeguard, determinism,
+# stdlibonly (see DESIGN.md §8 and `go run ./cmd/mtlint -analyzers`).
+lint:
+	$(GO) run ./cmd/mtlint ./...
+
 verify:
 	$(GO) vet ./...
+	$(GO) run ./cmd/mtlint ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test -race ./...
 
 bench:

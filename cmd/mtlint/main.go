@@ -1,0 +1,150 @@
+// Command mtlint runs the repo's project-specific static analyzers over
+// its packages: hotpath (annotated fast-engine functions must not
+// allocate), probeguard (obs.Probe calls must be nil-guarded),
+// determinism (no wall clock or global rand in simulation packages, no
+// map-ordered output in report packages) and stdlibonly (no third-party
+// imports). It is the compile-time half of the invariants the test suite
+// asserts at runtime.
+//
+// Usage:
+//
+//	mtlint [-json] [packages...]
+//
+// Packages default to ./... (every package under the module root,
+// excluding testdata). Diagnostics print one per line as
+//
+//	file:line: [analyzer] message
+//
+// Exit codes follow the repo's usage-vs-runtime convention: 0 for a clean
+// tree, 1 when any diagnostic is reported, 2 for usage or load errors
+// (unknown flags, unresolvable patterns, packages that do not type-check).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the -json output schema, one element per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	listOnly := fs.Bool("analyzers", false, "list registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mtlint [-json] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listOnly {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlint: %v\n", err)
+		return 2
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mtlint: %v\n", err)
+		return 2
+	}
+	loadFailed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.Errors {
+			fmt.Fprintf(stderr, "mtlint: %v\n", terr)
+			loadFailed = true
+		}
+	}
+	if loadFailed {
+		return 2
+	}
+
+	diags := lint.Run(pkgs, lint.All(), loader.ModulePath)
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     relPath(cwd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "mtlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relPath shortens abs to a cwd-relative path when that is cleaner.
+func relPath(cwd, abs string) string {
+	if rel, err := filepath.Rel(cwd, abs); err == nil && len(rel) < len(abs) {
+		return rel
+	}
+	return abs
+}

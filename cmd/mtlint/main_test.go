@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runMtlint invokes the driver in process and captures its streams.
+func runMtlint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestCleanPackageExitsZero: a real module package with no violations.
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runMtlint(t, "./internal/report")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no output on a clean package, got:\n%s", stdout)
+	}
+}
+
+// TestViolationExitsOneWithDiagnostic: a fixture with a stdlibonly
+// violation produces the documented file:line: [analyzer] message line and
+// exit code 1.
+func TestViolationExitsOneWithDiagnostic(t *testing.T) {
+	code, stdout, stderr := runMtlint(t, "./internal/lint/testdata/src/stdlibonly/a")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	diagLine := regexp.MustCompile(`^\S*stdlibonly/a/a\.go:\d+: \[stdlibonly\] import "example\.com/third/party" is outside the standard library`)
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("expected exactly one diagnostic, got %d:\n%s", len(lines), stdout)
+	}
+	if !diagLine.MatchString(lines[0]) {
+		t.Errorf("diagnostic %q does not match the file:line: [analyzer] message format", lines[0])
+	}
+}
+
+// TestProbeGuardThroughCLI: the probeguard fixture's unguarded calls
+// surface through the full driver too.
+func TestProbeGuardThroughCLI(t *testing.T) {
+	code, stdout, _ := runMtlint(t, "./internal/lint/testdata/src/probeguard/a")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "[probeguard] call on obs.Probe value") {
+		t.Errorf("missing probeguard diagnostic in:\n%s", stdout)
+	}
+}
+
+// TestJSONOutput: -json emits the documented schema.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, stderr := runMtlint(t, "-json", "./internal/lint/testdata/src/stdlibonly/a")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.HasSuffix(d.File, "a.go") || d.Line <= 0 || d.Col <= 0 ||
+		d.Analyzer != "stdlibonly" || !strings.Contains(d.Message, "example.com/third/party") {
+		t.Errorf("bad diagnostic fields: %+v", d)
+	}
+}
+
+// TestJSONCleanIsEmptyArray: -json on a clean package emits [] (not null)
+// so downstream tooling can always range over the result.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	code, stdout, _ := runMtlint(t, "-json", "./internal/report")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout)
+	}
+}
+
+// TestUsageErrorsExitTwo: bad flags and unresolvable patterns are usage
+// errors, distinct from findings.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	if code, _, _ := runMtlint(t, "-definitely-not-a-flag"); code != 2 {
+		t.Errorf("unknown flag: exit = %d, want 2", code)
+	}
+	code, _, stderr := runMtlint(t, "./no/such/package")
+	if code != 2 {
+		t.Errorf("bad pattern: exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "cannot resolve pattern") {
+		t.Errorf("bad pattern: stderr %q should name the pattern failure", stderr)
+	}
+}
+
+// TestAnalyzersListing: -analyzers names the whole catalog.
+func TestAnalyzersListing(t *testing.T) {
+	code, stdout, _ := runMtlint(t, "-analyzers")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"hotpath", "probeguard", "determinism", "stdlibonly"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("listing is missing analyzer %q:\n%s", name, stdout)
+		}
+	}
+}

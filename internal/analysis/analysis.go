@@ -12,6 +12,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/trace"
 )
@@ -111,14 +112,22 @@ func Analyze(tr *trace.Trace) *Set {
 // NumThreads returns the number of threads analyzed.
 func (s *Set) NumThreads() int { return len(s.Profiles) }
 
-// invertedIndex returns the shared-address -> users index, building it on
-// first use.
+// invertedIndex returns the shared-address -> users index, built on first
+// use. Each address's user list is appended profile-major, so it is always
+// sorted by thread ID; iterating each profile's addresses in sorted order
+// keeps the whole construction canonical rather than map-ordered.
 func (s *Set) invertedIndex() map[uint64][]addrUse {
 	if s.sharers == nil {
 		s.sharers = make(map[uint64][]addrUse)
+		var addrs []uint64
 		for _, p := range s.Profiles {
-			for a, rc := range p.Shared {
-				s.sharers[a] = append(s.sharers[a], addrUse{thread: p.Thread, count: rc})
+			addrs = addrs[:0]
+			for a := range p.Shared {
+				addrs = append(addrs, a)
+			}
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+			for _, a := range addrs {
+				s.sharers[a] = append(s.sharers[a], addrUse{thread: p.Thread, count: p.Shared[a]})
 			}
 		}
 	}

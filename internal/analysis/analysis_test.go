@@ -144,6 +144,36 @@ func TestSharingMatchesPairOracle(t *testing.T) {
 	}
 }
 
+// TestInvertedIndexCanonical locks the inverted index's ordering
+// invariant: every address's user list is sorted by thread ID (the
+// construction is profile-major), independent of map iteration order.
+// mtlint's determinism analyzer enforces the sorted-key construction
+// statically; this is the runtime half of that contract.
+func TestInvertedIndexCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1994))
+	n := 6
+	tr := trace.New("inv", n)
+	for i := 0; i < n; i++ {
+		r := trace.NewRecorder(tr, i)
+		for j := 0; j < 300; j++ {
+			r.Load(sh(rng.Intn(40)))
+		}
+	}
+	s := Analyze(tr)
+	idx := s.invertedIndex()
+	if len(idx) == 0 {
+		t.Fatal("empty inverted index")
+	}
+	for addr, users := range idx {
+		for i := 1; i < len(users); i++ {
+			if users[i-1].thread >= users[i].thread {
+				t.Fatalf("addr %#x: users not in ascending thread order: %d then %d",
+					addr, users[i-1].thread, users[i].thread)
+			}
+		}
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if s.Mean != 5 {

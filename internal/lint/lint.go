@@ -1,0 +1,235 @@
+// Package lint is a small static-analysis framework built directly on the
+// standard library's type-checker (go/parser + go/types + go/importer —
+// deliberately no golang.org/x/tools, honoring the repo's stdlib-only
+// rule). It exists to enforce the simulator's cross-cutting invariants at
+// compile time: the allocation-free fast path, nil-guarded observability
+// probes, deterministic report output, and the stdlib-only import policy.
+//
+// An Analyzer inspects one type-checked Package through a Pass and reports
+// Diagnostics. Run executes a set of analyzers over a set of packages,
+// applies `//mtlint:allow` suppressions, and returns the surviving
+// diagnostics in deterministic (file, line, column, analyzer) order.
+//
+// # Annotation grammar
+//
+// Two comment directives, both line comments with no space after `//`:
+//
+//	//mtlint:hotpath
+//	    On the doc comment of a function: the hotpath analyzer checks the
+//	    function body for allocating constructs.
+//
+//	//mtlint:allow <analyzer>[,<analyzer>...] [-- <reason>]
+//	    On the flagged line, or on the line directly above it: suppresses
+//	    the named analyzers' diagnostics for that line. The reason after
+//	    `--` is for human readers; the framework ignores it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the driver's one-line form: file:line: [analyzer] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and allow
+	// directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the pass's package and reports findings via
+	// Pass.Reportf.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Module is the module path of the tree being linted (used by
+	// stdlibonly to tell module-internal imports from third-party ones).
+	Module string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer registry in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Hotpath, ProbeGuard, Determinism, StdlibOnly}
+}
+
+// ByName returns the registered analyzer with the given name.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the analyzers over the packages, filters findings through
+// `//mtlint:allow` directives, and returns them sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, module string) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Module: module, diags: &raw})
+		}
+		allow := collectAllows(pkg)
+		for _, d := range raw {
+			if allow.suppresses(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// allowKey identifies one line of one file.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowSet maps lines to the analyzer names allowed there.
+type allowSet map[allowKey]map[string]bool
+
+// suppresses reports whether d is covered by an allow directive on its own
+// line or the line directly above.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := s[allowKey{d.Pos.Filename, line}]; names[d.Analyzer] || names["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows gathers `//mtlint:allow` directives from every comment in
+// the package.
+func collectAllows(pkg *Package) allowSet {
+	set := make(allowSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := allowKey{pos.Filename, pos.Line}
+				if set[key] == nil {
+					set[key] = make(map[string]bool)
+				}
+				for _, n := range names {
+					set[key][n] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow parses "//mtlint:allow a,b -- reason" into its analyzer names.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//mtlint:allow")
+	if !ok {
+		return nil, false
+	}
+	rest, _, _ = strings.Cut(rest, "--")
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// hasDirective reports whether the comment group contains the exact
+// directive line (e.g. "//mtlint:hotpath").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStack walks the AST rooted at n, calling fn with each node and the
+// stack of its ancestors (outermost first, not including n itself).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Children are skipped, so no matching pop arrives: don't push.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pathSuffixMatch reports whether pkgPath equals suffix or ends with
+// "/"+suffix — the package-scoping rule analyzers use so both the real
+// module packages ("repro/internal/sim") and test fixtures
+// ("determinism/internal/sim") match.
+func pathSuffixMatch(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}

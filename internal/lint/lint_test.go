@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleRootForTest(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+// TestLoaderLoadsModulePackage checks the from-scratch loader end to end
+// on a real module package: files parsed, types resolved, zero type
+// errors, module-internal and stdlib imports both reachable.
+func TestLoaderLoadsModulePackage(t *testing.T) {
+	l, err := NewLoader(moduleRootForTest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/internal/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "repro/internal/report" {
+		t.Errorf("path = %q", pkg.Path)
+	}
+	if len(pkg.Errors) != 0 {
+		t.Fatalf("type errors: %v", pkg.Errors)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Table") == nil {
+		t.Error("type information missing: report.Table not in package scope")
+	}
+	if len(pkg.Unresolved) != 0 {
+		t.Errorf("unexpected unresolved imports: %v", pkg.Unresolved)
+	}
+}
+
+// TestLoaderWalkSkipsTestdata ensures ./... never descends into testdata
+// (fixture packages must not leak into a real lint run).
+func TestLoaderWalkSkipsTestdata(t *testing.T) {
+	l, err := NewLoader(moduleRootForTest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.walkPackageDirs(l.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("walk returned testdata dir %s", d)
+		}
+	}
+	if len(dirs) < 10 {
+		t.Errorf("walk found only %d package dirs; expected the whole module", len(dirs))
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"//mtlint:allow hotpath", []string{"hotpath"}},
+		{"//mtlint:allow hotpath -- amortized growth", []string{"hotpath"}},
+		{"//mtlint:allow hotpath,determinism", []string{"hotpath", "determinism"}},
+		{"//mtlint:allow  determinism  -- reason text", []string{"determinism"}},
+		{"//mtlint:allow", nil},
+		{"// mtlint:allow hotpath", nil}, // directives take no space after //
+		{"//mtlint:hotpath", nil},
+		{"// ordinary comment", nil},
+	}
+	for _, c := range cases {
+		got, ok := parseAllow(c.in)
+		if (len(c.want) > 0) != ok {
+			t.Errorf("parseAllow(%q) ok = %v", c.in, ok)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseAllow(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "internal/sim/fast.go", Line: 42, Column: 7},
+		Analyzer: "hotpath",
+		Message:  "call to make allocates in hot-path function access",
+	}
+	want := "internal/sim/fast.go:42: [hotpath] call to make allocates in hot-path function access"
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+}
+
+func TestPathSuffixMatch(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"repro/internal/sim", "internal/sim", true},
+		{"internal/sim", "internal/sim", true},
+		{"determinism/internal/sim", "internal/sim", true},
+		{"repro/internal/simx", "internal/sim", false},
+		{"repro/xinternal/sim", "internal/sim", false},
+		{"repro/internal/obs/obstest", "internal/obs", false},
+	}
+	for _, c := range cases {
+		if got := pathSuffixMatch(c.path, c.suffix); got != c.want {
+			t.Errorf("pathSuffixMatch(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestIsStdlibPath(t *testing.T) {
+	for path, want := range map[string]bool{
+		"fmt":                  true,
+		"math/rand":            true,
+		"encoding/csv":         true,
+		"golang.org/x/tools":   false,
+		"example.com/dep":      false,
+		"github.com/user/repo": false,
+	} {
+		if got := isStdlibPath(path); got != want {
+			t.Errorf("isStdlibPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

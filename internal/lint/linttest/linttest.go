@@ -1,0 +1,208 @@
+// Package linttest is a self-built analysistest-style harness for the lint
+// framework: it loads a fixture package from internal/lint/testdata/src,
+// runs one analyzer over it, and checks the diagnostics against
+// `// want "regexp"` comment assertions in the fixture sources.
+//
+// Assertion grammar: a line comment containing
+//
+//	// want "re1" "re2" ...
+//
+// asserts that the diagnostics reported on that line match the quoted
+// regular expressions one-to-one (each regexp matches exactly one
+// diagnostic message and every diagnostic is claimed by a regexp). Both
+// interpreted (`"..."`) and raw (“ `...` “) quoting are accepted. Lines
+// without a want comment must produce no diagnostics.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// loaders caches one Loader per module root: the source importer
+// type-checks stdlib dependencies from GOROOT source, which is worth doing
+// once per test binary, not once per test.
+var loaders sync.Map
+
+func sharedLoader(t *testing.T, root string) *lint.Loader {
+	t.Helper()
+	if l, ok := loaders.Load(root); ok {
+		return l.(*lint.Loader)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	l.ExtraSrcDirs = []string{filepath.Join(root, "internal", "lint", "testdata", "src")}
+	actual, _ := loaders.LoadOrStore(root, l)
+	return actual.(*lint.Loader)
+}
+
+// ModuleRoot locates the enclosing module root (the directory with go.mod)
+// starting from the current working directory.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run loads the fixture package at pkgPath (relative to testdata/src, or
+// any loader-resolvable path) and checks analyzer a's diagnostics against
+// the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	root := ModuleRoot(t)
+	loader := sharedLoader(t, root)
+	pkgs, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", pkgPath, err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.Errors {
+			t.Errorf("linttest: type error in fixture %s: %v", pkg.Path, terr)
+		}
+	}
+	diags := lint.Run(pkgs, []*lint.Analyzer{a}, loader.ModulePath)
+	checkWants(t, pkgs, diags)
+}
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// checkWants matches diagnostics against want comments, failing the test
+// on any mismatch in either direction.
+func checkWants(t *testing.T, pkgs []*lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns, err := parseWant(c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+					}
+					if len(patterns) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := lineKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], patterns...)
+				}
+			}
+		}
+	}
+
+	unclaimed := make(map[lineKey][]string)
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		unclaimed[key] = append(unclaimed[key], d.Message)
+	}
+	for key, patterns := range wants {
+		for _, re := range patterns {
+			idx := -1
+			for i, msg := range unclaimed[key] {
+				if re.MatchString(msg) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none (remaining: %q)",
+					key.file, key.line, re.String(), unclaimed[key])
+				continue
+			}
+			unclaimed[key] = append(unclaimed[key][:idx], unclaimed[key][idx+1:]...)
+		}
+	}
+	for key, msgs := range unclaimed {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, msg)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want ...` comment.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, nil
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil, nil
+	}
+	var patterns []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var quote byte = rest[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want comment: expected quoted regexp, have %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("want comment: unterminated %c-quote", quote)
+		}
+		raw := rest[:end+2]
+		var lit string
+		if quote == '"' {
+			var err error
+			if lit, err = strconv.Unquote(raw); err != nil {
+				return nil, fmt.Errorf("want comment: %v", err)
+			}
+		} else {
+			lit = raw[1 : len(raw)-1]
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want comment: bad regexp %s: %v", raw, err)
+		}
+		patterns = append(patterns, re)
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return patterns, nil
+}
+
+// Diagnostics loads pkgPath with the shared loader and returns the raw
+// diagnostics of the given analyzers — for tests that assert on findings
+// directly (e.g. the hot-path cross-check against the real engine
+// sources).
+func Diagnostics(t *testing.T, analyzers []*lint.Analyzer, pkgPaths ...string) []lint.Diagnostic {
+	t.Helper()
+	root := ModuleRoot(t)
+	loader := sharedLoader(t, root)
+	pkgs, err := loader.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", pkgPaths, err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.Errors {
+			t.Errorf("linttest: type error in %s: %v", pkg.Path, terr)
+		}
+	}
+	return lint.Run(pkgs, analyzers, loader.ModulePath)
+}

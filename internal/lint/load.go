@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit analyzers run on.
+type Package struct {
+	// Path is the package's import path ("repro/internal/sim", or the
+	// testdata-relative path the harness assigns).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset is the loader's shared file set (positions for every file,
+	// including imported stdlib sources).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+	// Errors collects type-check errors (the loader keeps going so lint can
+	// report what it can; callers decide whether errors are fatal).
+	Errors []error
+	// Unresolved records import paths the loader could not resolve and
+	// replaced with empty placeholder packages (e.g. a third-party import,
+	// which stdlibonly will flag anyway).
+	Unresolved []string
+}
+
+// Loader loads and type-checks packages of one module using only the
+// standard library: go/parser for syntax, go/types for checking, and the
+// go/importer "source" importer for standard-library dependencies (modern
+// toolchains ship no prebuilt export data, so stdlib packages are checked
+// from GOROOT source). Module-internal imports are resolved by path
+// arithmetic against the module root — no `go list` subprocess.
+type Loader struct {
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+	// ExtraSrcDirs are GOPATH-src-style roots searched for import paths that
+	// are neither stdlib nor module-internal. The lint test harness points
+	// this at testdata/src so fixture packages can import each other.
+	ExtraSrcDirs []string
+	// Fset is shared by every package this loader touches.
+	Fset *token.FileSet
+
+	stdlib  types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at root (the directory
+// holding go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		Fset:       fset,
+		stdlib:     importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// Load resolves the given patterns to packages and loads each. Supported
+// patterns: "./..." (every package under the module root, skipping testdata
+// and hidden directories), a directory path ("./internal/report"), or an
+// import path resolvable against the module root or an extra source dir.
+// With no patterns it defaults to "./...".
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []*Package
+	add := func(p *Package) {
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walkPackageDirs(l.ModuleRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, dir := range dirs {
+				p, err := l.loadDir(dir)
+				if err != nil {
+					return nil, err
+				}
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			dirs, err := l.walkPackageDirs(filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(root, "./"))))
+			if err != nil {
+				return nil, err
+			}
+			for _, dir := range dirs {
+				p, err := l.loadDir(dir)
+				if err != nil {
+					return nil, err
+				}
+				add(p)
+			}
+		default:
+			p, err := l.loadPattern(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// loadPattern loads a single non-wildcard pattern: an existing directory or
+// an import path.
+func (l *Loader) loadPattern(pat string) (*Package, error) {
+	// Directory forms: "./x", "x" where x exists on disk.
+	for _, cand := range []string{pat, filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))} {
+		if fi, err := os.Stat(cand); err == nil && fi.IsDir() {
+			return l.loadDir(cand)
+		}
+	}
+	// Import-path forms: module-internal or under an extra source dir.
+	if dir, ok := l.dirForImport(pat); ok {
+		return l.loadPackageAt(pat, dir)
+	}
+	return nil, fmt.Errorf("lint: cannot resolve pattern %q", pat)
+}
+
+// dirForImport maps an import path to a directory via the module root or
+// the extra source dirs.
+func (l *Loader) dirForImport(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	for _, src := range l.ExtraSrcDirs {
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// walkPackageDirs returns every directory under root containing non-test Go
+// files, skipping testdata, hidden and underscore-prefixed directories.
+func (l *Loader) walkPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// loadDir loads the package in dir, deriving its import path from the
+// module root (or the bare directory path for out-of-module dirs).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathFor(abs)
+	return l.loadPackageAt(path, abs)
+}
+
+// importPathFor derives an import path for a directory: module-relative
+// when under the module root, extra-src-relative when under an extra source
+// dir, else the slash-converted directory itself.
+func (l *Loader) importPathFor(abs string) string {
+	for _, src := range l.ExtraSrcDirs {
+		if rel, err := filepath.Rel(src, abs); err == nil && rel != "." && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.ModulePath
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(abs)
+}
+
+// loadPackageAt parses and type-checks the package in dir under the given
+// import path, memoizing by path.
+func (l *Loader) loadPackageAt(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    &pkgImporter{l: l, pkg: pkg},
+		FakeImportC: true,
+		Error:       func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// pkgImporter resolves one package's imports: module-internal and
+// extra-src packages recursively through the loader, the standard library
+// through the source importer, and everything else as an empty placeholder
+// (recorded in Unresolved).
+type pkgImporter struct {
+	l   *Loader
+	pkg *Package
+}
+
+func (im *pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := im.l.dirForImport(path); ok {
+		p, err := im.l.loadPackageAt(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if isStdlibPath(path) {
+		if p, err := im.l.stdlib.Import(path); err == nil {
+			return p, nil
+		}
+	}
+	im.pkg.Unresolved = append(im.pkg.Unresolved, path)
+	return placeholderPackage(path), nil
+}
+
+// isStdlibPath reports whether path looks like a standard-library import:
+// its first segment contains no dot (domain-less).
+func isStdlibPath(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}
+
+// placeholderPackage synthesizes an empty, complete package so
+// type-checking can continue past an unresolvable import.
+func placeholderPackage(path string) *types.Package {
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	clean := make([]rune, 0, len(name))
+	for _, r := range name {
+		if r == '_' || r == '.' || r == '-' {
+			clean = append(clean, '_')
+			continue
+		}
+		clean = append(clean, r)
+	}
+	if len(clean) == 0 {
+		clean = []rune{'p'}
+	}
+	p := types.NewPackage(path, string(clean))
+	p.MarkComplete()
+	return p
+}

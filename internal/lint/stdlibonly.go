@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly enforces the repo's foundational rule: everything is built
+// from scratch on the Go standard library. An import is allowed when it is
+// a standard-library path (first segment has no dot) or module-internal
+// (the module path itself or a subpackage). Anything else — a third-party
+// module, golang.org/x, a replace-directive alias — is flagged at the
+// import spec.
+var StdlibOnly = &Analyzer{
+	Name: "stdlibonly",
+	Doc:  "imports must be standard library or module-internal",
+	Run:  runStdlibOnly,
+}
+
+func runStdlibOnly(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == pass.Module || strings.HasPrefix(path, pass.Module+"/") {
+				continue
+			}
+			if isStdlibPath(path) {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import %q is outside the standard library and the %s module; this repo is stdlib-only", path, pass.Module)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package report is the determinism fixture for the map-order rules: a
+// range over a map may not feed output or order-sensitive accumulation.
+// The import path ends in internal/report, which puts it in scope.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// dump prints in map iteration order: nondeterministic output.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map m feeds output through Fprintf in map iteration order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// nested output is still output.
+func dumpNested(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map m feeds output through WriteString`
+		if v > 0 {
+			io.WriteString(w, k)
+		}
+	}
+}
+
+// collectUnsorted leaks map order through the returned slice.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m appends to out in map iteration order without a later sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectSorted is the sanctioned collect-then-sort idiom.
+func collectSorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// appendElsewhere appends into a map element: per-key slices cannot be
+// proven sorted, so the loop is flagged.
+func appendElsewhere(m map[string][]int, src map[string]int) {
+	for k, v := range src { // want `range over map src appends to m\[k\] in map iteration order`
+		m[k] = append(m[k], v)
+	}
+}
+
+// floatSum accumulates floats in map order: addition is not associative.
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map m accumulates floating-point values`
+		s += v
+	}
+	return s
+}
+
+// concat builds a string in map order.
+func concat(m map[string]string) string {
+	var s string
+	for _, v := range m { // want `range over map m concatenates strings`
+		s += v
+	}
+	return s
+}
+
+// intSum is commutative: allowed.
+func intSum(m map[string]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// invert writes map entries keyed by the range variable: order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// waived demonstrates the escape hatch on a flagged loop.
+func waived(m map[string][]int, k2 string, v2 int) {
+	//mtlint:allow determinism -- per-key append order is fixed by the caller
+	for k, vs := range m {
+		m[k] = append(vs, v2)
+		_ = k2
+	}
+}

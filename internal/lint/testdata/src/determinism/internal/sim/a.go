@@ -1,0 +1,37 @@
+// Package sim is the determinism fixture for the simulation-package
+// rules: no wall clock, no process-global random source. The fixture's
+// import path ends in internal/sim, which puts it in the analyzer's
+// time/rand scope.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// now reads the wall clock: forbidden, simulated time only.
+func now() int64 {
+	return time.Now().UnixNano() // want `time\.Now is wall-clock`
+}
+
+// since is fine: time.Duration arithmetic without the wall clock.
+func since(a, b time.Duration) time.Duration {
+	return a - b
+}
+
+// roll uses the global source: irreproducible.
+func roll() int {
+	return rand.Intn(6) // want `rand\.Intn uses a process-global random source`
+}
+
+// shuffle uses the global source through a different entry point.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle uses a process-global random source`
+}
+
+// seeded is the sanctioned idiom: explicit seed, methods on the local
+// generator.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6) + rng.Perm(4)[0]
+}

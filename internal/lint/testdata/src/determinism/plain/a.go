@@ -1,0 +1,28 @@
+// Package plain is out of the determinism analyzer's scope (its import
+// path matches neither the simulation nor the presentation package
+// lists): nothing here may be flagged.
+package plain
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// stamp may read the wall clock: this package is not a simulation package.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// roll may use the global source here.
+func roll() int {
+	return rand.Intn(6)
+}
+
+// dump may print in map order here.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

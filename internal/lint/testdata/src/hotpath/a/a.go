@@ -1,0 +1,98 @@
+// Package a is the hotpath analyzer fixture: annotated functions with
+// each forbidden allocating construct, plus negative cases (unannotated
+// allocations, clean hot functions, the //mtlint:allow escape hatch).
+package a
+
+import "fmt"
+
+type pair struct{ x, y int }
+
+type state struct {
+	scratch []int32
+	slots   []pair
+}
+
+//mtlint:hotpath
+func hotMake() map[int]int {
+	return make(map[int]int) // want `call to make allocates in hot-path function hotMake`
+}
+
+//mtlint:hotpath
+func hotNew() *pair {
+	return new(pair) // want `call to new allocates in hot-path function hotNew`
+}
+
+//mtlint:hotpath
+func hotClosure(xs []int) func() int {
+	return func() int { return len(xs) } // want `function literal allocates a closure in hot-path function hotClosure`
+}
+
+//mtlint:hotpath
+func hotAddrLit() *pair {
+	return &pair{x: 1, y: 2} // want `address of composite literal escapes in hot-path function hotAddrLit`
+}
+
+//mtlint:hotpath
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates in hot-path function hotSliceLit`
+}
+
+//mtlint:hotpath
+func hotMapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates in hot-path function hotMapLit`
+}
+
+//mtlint:hotpath
+func hotIfaceConv(v int) any {
+	return any(v) // want `conversion to interface type any allocates in hot-path function hotIfaceConv`
+}
+
+//mtlint:hotpath
+func hotStringConv(b []byte) string {
+	return string(b) // want `string/slice conversion copies and allocates in hot-path function hotStringConv`
+}
+
+//mtlint:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates in hot-path function hotConcat`
+}
+
+//mtlint:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt.Sprintf allocates in hot-path function hotFmt`
+}
+
+//mtlint:hotpath
+func hotDefer(f func()) {
+	defer f() // want `defer in hot-path function hotDefer`
+}
+
+//mtlint:hotpath
+func hotGo(f func()) {
+	go f() // want `go statement in hot-path function hotGo`
+}
+
+// coldAllocates is unannotated: the analyzer must stay silent no matter
+// what it allocates.
+func coldAllocates() *pair {
+	_ = fmt.Sprintf("%v", []int{1})
+	return &pair{x: len(make([]int, 4))}
+}
+
+// hotClean mirrors the engine idiom: struct value stores into existing
+// memory and amortized append into a caller-owned scratch buffer are
+// allowed.
+//
+//mtlint:hotpath
+func hotClean(s *state, i int, v int32) {
+	s.slots[i] = pair{x: int(v), y: i}
+	s.scratch = append(s.scratch[:0], v)
+}
+
+// hotWaived allocates on purpose and waives the finding with the escape
+// hatch.
+//
+//mtlint:hotpath
+func hotWaived() *pair {
+	return &pair{x: 3} //mtlint:allow hotpath -- slow-path refill, measured as amortized-zero
+}

@@ -1,0 +1,88 @@
+// Package a is the probeguard analyzer fixture: calls on obs.Probe values
+// with and without dominating nil checks.
+package a
+
+import "repro/internal/obs"
+
+type machine struct {
+	probe obs.Probe
+	n     uint64
+}
+
+// unguarded is the bug the analyzer exists for.
+func (m *machine) unguarded() {
+	m.probe.RunEnd(m.n) // want `call on obs\.Probe value m\.probe is not dominated by a m\.probe != nil check`
+}
+
+// enclosing is the engines' standard shape.
+func (m *machine) enclosing(t uint64) {
+	if m.probe != nil {
+		m.probe.CacheHit(t, 0, 0)
+	}
+}
+
+// earlyReturn guards once for the rest of the function.
+func (m *machine) earlyReturn(t uint64) {
+	if m.probe == nil {
+		return
+	}
+	m.probe.ThreadRun(t, 0, 0)
+	if t > 0 {
+		m.probe.ThreadFinish(t, 0, 0)
+	}
+}
+
+// compound conditions guard when the nil check is an && conjunct...
+func (m *machine) compound(t uint64, on bool) {
+	if on && m.probe != nil {
+		m.probe.ContextSwitch(t, 0)
+	}
+}
+
+// ...but not when it is an || alternative.
+func (m *machine) disjunct(t uint64, on bool) {
+	if on || m.probe != nil {
+		m.probe.ContextSwitch(t, 0) // want `call on obs\.Probe value m\.probe is not dominated`
+	}
+}
+
+// wrongValue checks one probe and calls another.
+func wrongValue(p, q obs.Probe, t uint64) {
+	if p != nil {
+		q.RunEnd(t) // want `call on obs\.Probe value q is not dominated`
+	}
+}
+
+// elseBranch runs exactly when the probe IS nil.
+func (m *machine) elseBranch(t uint64) {
+	if m.probe != nil {
+		m.n = t
+	} else {
+		m.probe.RunEnd(t) // want `call on obs\.Probe value m\.probe is not dominated`
+	}
+}
+
+// localRebind guards the local copy it calls through.
+func (m *machine) localRebind(t uint64) {
+	p := m.probe
+	if p != nil {
+		p.QueueDepth(t, 1)
+	}
+}
+
+// closureEscapes: the guard's fact does not survive into a function
+// literal that may run later.
+func (m *machine) closureEscapes(t uint64) func() {
+	if m.probe != nil {
+		return func() {
+			m.probe.RunEnd(t) // want `call on obs\.Probe value m\.probe is not dominated`
+		}
+	}
+	return nil
+}
+
+// concrete methods on a probe implementation need no guard: only the
+// interface can be nil on the fast path.
+func concrete(c *obs.Counter, t uint64) {
+	c.RunEnd(t)
+}

@@ -1,0 +1,18 @@
+// Package a is the stdlibonly fixture: standard-library and
+// module-internal imports pass; anything with a domain in its first path
+// segment fails.
+package a
+
+import (
+	"fmt"
+	"strings"
+
+	_ "example.com/third/party" // want `import "example\.com/third/party" is outside the standard library`
+
+	_ "repro/internal/report"
+)
+
+// use keeps the real imports referenced.
+func use() string {
+	return strings.ToUpper(fmt.Sprint("ok"))
+}

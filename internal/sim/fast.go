@@ -128,6 +128,8 @@ func newFastMachine(tr *trace.Trace, pl *placement.Placement, cfg Config) (*fast
 
 // admitNext loads the next waiting thread into the hardware context a
 // completed thread freed.
+//
+//mtlint:hotpath
 func (m *fastMachine) admitNext(p *fastProc) {
 	for p.nextLoad < len(p.ctxs) {
 		c := &p.ctxs[p.nextLoad]
@@ -199,6 +201,8 @@ func (m *fastMachine) run(tr *trace.Trace, pl *placement.Placement) (*Result, er
 }
 
 // push schedules the processor's next action.
+//
+//mtlint:hotpath
 func (m *fastMachine) push(t uint64, p *fastProc) {
 	p.seq++
 	m.h.push(event{time: t, proc: p.id, seq: p.seq})
@@ -207,6 +211,8 @@ func (m *fastMachine) push(t uint64, p *fastProc) {
 // scheduleNext picks the next ready context round-robin and schedules its
 // issue; with no ready context the processor idles until the earliest
 // blocked completion.
+//
+//mtlint:hotpath
 func (m *fastMachine) scheduleNext(p *fastProc, t uint64) {
 	n := len(p.ctxs)
 	chosen := -1
@@ -258,6 +264,8 @@ func (m *fastMachine) scheduleNext(p *fastProc, t uint64) {
 
 // access issues context c's pending reference at time t, drives the cache
 // and coherence protocol, and schedules the processor's next action.
+//
+//mtlint:hotpath
 func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 	e := c.pending
 	p.stats.Refs++
@@ -369,6 +377,8 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 // updates the directory so p is the only sharer. The sharer set is
 // gathered into the machine's scratch buffer first (same ascending order
 // as the reference directory's callback iteration).
+//
+//mtlint:hotpath
 func (m *fastMachine) invalidateOthers(p *fastProc, ei int32, block uint64, t uint64) {
 	m.scratch = m.dir.appendOthers(ei, p.id, m.scratch[:0])
 	for _, q := range m.scratch {
@@ -389,6 +399,8 @@ func (m *fastMachine) invalidateOthers(p *fastProc, ei int32, block uint64, t ui
 
 // updateOthers pushes a written value to every remote sharer of the entry
 // (write-update protocol).
+//
+//mtlint:hotpath
 func (m *fastMachine) updateOthers(p *fastProc, ei int32, t uint64) {
 	m.scratch = m.dir.appendOthers(ei, p.id, m.scratch[:0])
 	for _, q := range m.scratch {
@@ -405,6 +417,8 @@ func (m *fastMachine) updateOthers(p *fastProc, ei int32, t uint64) {
 
 // fill installs the block in p's cache and handles victim write-back and
 // directory maintenance.
+//
+//mtlint:hotpath
 func (m *fastMachine) fill(p *fastProc, c *context, block uint64, st lineState) {
 	victim, dirty, evicted := p.cache.fill(block, st, c.idx)
 	if !evicted {
@@ -422,6 +436,8 @@ func (m *fastMachine) fill(p *fastProc, c *context, block uint64, st lineState) 
 }
 
 // completeHit charges the hit and advances the context in place.
+//
+//mtlint:hotpath
 func (m *fastMachine) completeHit(p *fastProc, c *context, t uint64) {
 	p.stats.Hits++
 	if m.probe != nil {
@@ -461,6 +477,8 @@ func (m *fastMachine) completeHit(p *fastProc, c *context, t uint64) {
 
 // acquireChannel reserves an interconnect channel at time t and returns
 // the queueing delay (zero without a contention model).
+//
+//mtlint:hotpath
 func (m *fastMachine) acquireChannel(t uint64) uint64 {
 	if len(m.channels) == 0 {
 		return 0
@@ -481,6 +499,8 @@ func (m *fastMachine) acquireChannel(t uint64) uint64 {
 
 // completeTransaction finishes a reference that required a network
 // transaction, exactly like the reference engine.
+//
+//mtlint:hotpath
 func (m *fastMachine) completeTransaction(p *fastProc, c *context, t uint64) {
 	p.stats.Busy++ // the issuing instruction occupies the pipeline
 	wait := m.acquireChannel(t)

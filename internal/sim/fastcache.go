@@ -43,9 +43,12 @@ func (c *fastCache) init(cfg Config) {
 	c.lines = make([]line, int(c.nsets)*c.ways)
 }
 
+//mtlint:hotpath
 func (c *fastCache) block(addr uint64) uint64 { return addr >> c.lineShift }
 
 // setIndex maps a block to its set number.
+//
+//mtlint:hotpath
 func (c *fastCache) setIndex(block uint64) uint64 {
 	if c.setMask != 0 {
 		return block & c.setMask
@@ -54,6 +57,8 @@ func (c *fastCache) setIndex(block uint64) uint64 {
 }
 
 // set returns the ways of the block's set in LRU order.
+//
+//mtlint:hotpath
 func (c *fastCache) set(block uint64) []line {
 	s := c.setIndex(block)
 	return c.lines[s*uint64(c.ways) : (s+1)*uint64(c.ways)]
@@ -61,6 +66,8 @@ func (c *fastCache) set(block uint64) []line {
 
 // lookup returns the state of the block (invalid if absent) and promotes
 // it to MRU when present.
+//
+//mtlint:hotpath
 func (c *fastCache) lookup(block uint64) lineState {
 	if c.infinite {
 		return c.infStates[block]
@@ -84,6 +91,8 @@ func (c *fastCache) lookup(block uint64) lineState {
 }
 
 // classifyMiss explains a miss on block by context ctx, using the ledger.
+//
+//mtlint:hotpath
 func (c *fastCache) classifyMiss(block uint64, ctx int32) MissKind {
 	g, seen := c.gone[block]
 	switch {
@@ -100,6 +109,8 @@ func (c *fastCache) classifyMiss(block uint64, ctx int32) MissKind {
 
 // invalidator returns the processor that invalidated block, and true, when
 // the block's last departure was an invalidation.
+//
+//mtlint:hotpath
 func (c *fastCache) invalidator(block uint64) (int32, bool) {
 	g, seen := c.gone[block]
 	if seen && g.invalidated {
@@ -110,6 +121,8 @@ func (c *fastCache) invalidator(block uint64) (int32, bool) {
 
 // fill installs block with the given state on behalf of context ctx,
 // attributing any eviction to ctx exactly like the reference cache.
+//
+//mtlint:hotpath
 func (c *fastCache) fill(block uint64, st lineState, ctx int32) (victim uint64, dirty, evicted bool) {
 	if c.infinite {
 		c.infStates[block] = st
@@ -147,6 +160,8 @@ func (c *fastCache) fill(block uint64, st lineState, ctx int32) (victim uint64, 
 }
 
 // setState changes the state of a resident block (upgrade or downgrade).
+//
+//mtlint:hotpath
 func (c *fastCache) setState(block uint64, st lineState) {
 	if c.infinite {
 		if c.infStates[block] == invalid {
@@ -175,6 +190,8 @@ func (c *fastCache) setState(block uint64, st lineState) {
 
 // invalidate removes block if resident, recording the invalidating
 // processor.
+//
+//mtlint:hotpath
 func (c *fastCache) invalidate(block uint64, byProc int32) (present, dirty bool) {
 	if c.infinite {
 		st := c.infStates[block]

@@ -34,6 +34,8 @@ func newFastDirectory(nprocs int) *fastDirectory {
 }
 
 // entry returns block's entry index, creating the entry if needed.
+//
+//mtlint:hotpath
 func (d *fastDirectory) entry(block uint64) int32 {
 	if ei, ok := d.index[block]; ok {
 		return ei
@@ -46,6 +48,8 @@ func (d *fastDirectory) entry(block uint64) int32 {
 }
 
 // peek returns block's entry index, or -1 without creating one.
+//
+//mtlint:hotpath
 func (d *fastDirectory) peek(block uint64) int32 {
 	if ei, ok := d.index[block]; ok {
 		return ei
@@ -54,21 +58,29 @@ func (d *fastDirectory) peek(block uint64) int32 {
 }
 
 // sharers returns entry ei's bitmap words.
+//
+//mtlint:hotpath
 func (d *fastDirectory) sharers(ei int32) []uint64 {
 	return d.bitsArena[int(ei)*d.words : (int(ei)+1)*d.words]
 }
 
-func (d *fastDirectory) owner(ei int32) int32       { return d.owners[ei] }
+//mtlint:hotpath
+func (d *fastDirectory) owner(ei int32) int32 { return d.owners[ei] }
+
+//mtlint:hotpath
 func (d *fastDirectory) setOwner(ei int32, p int32) { d.owners[ei] = p }
 
+//mtlint:hotpath
 func (d *fastDirectory) add(ei int32, p int) {
 	d.bitsArena[int(ei)*d.words+p/64] |= 1 << (uint(p) % 64)
 }
 
+//mtlint:hotpath
 func (d *fastDirectory) remove(ei int32, p int) {
 	d.bitsArena[int(ei)*d.words+p/64] &^= 1 << (uint(p) % 64)
 }
 
+//mtlint:hotpath
 func (d *fastDirectory) clearSharers(ei int32) {
 	s := d.sharers(ei)
 	for i := range s {
@@ -80,6 +92,8 @@ func (d *fastDirectory) clearSharers(ei int32) {
 // ascending processor order (the reference directory's iteration order),
 // and returns the extended buffer. Callers pass a scratch buffer owned by
 // the machine so steady-state transactions allocate nothing.
+//
+//mtlint:hotpath
 func (d *fastDirectory) appendOthers(ei int32, p int, buf []int32) []int32 {
 	for wi, w := range d.sharers(ei) {
 		for ; w != 0; w &= w - 1 {

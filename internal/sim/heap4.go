@@ -16,6 +16,8 @@ type quadHeap struct {
 }
 
 // eventLess is the reference eventHeap.Less ordering.
+//
+//mtlint:hotpath
 func eventLess(x, y event) bool {
 	if x.time != y.time {
 		return x.time < y.time
@@ -23,9 +25,12 @@ func eventLess(x, y event) bool {
 	return x.proc < y.proc
 }
 
+//mtlint:hotpath
 func (h *quadHeap) len() int { return len(h.a) }
 
 // push inserts e, sifting it up to its heap position.
+//
+//mtlint:hotpath
 func (h *quadHeap) push(e event) {
 	h.a = append(h.a, e)
 	i := len(h.a) - 1
@@ -41,6 +46,8 @@ func (h *quadHeap) push(e event) {
 
 // pop removes and returns the minimum event. It panics on an empty heap,
 // like the reference heap.
+//
+//mtlint:hotpath
 func (h *quadHeap) pop() event {
 	top := h.a[0]
 	last := len(h.a) - 1
@@ -53,6 +60,8 @@ func (h *quadHeap) pop() event {
 }
 
 // siftDown restores the heap property from the root.
+//
+//mtlint:hotpath
 func (h *quadHeap) siftDown() {
 	n := len(h.a)
 	i := 0
