@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify lint bench benchsim fuzz golden
+.PHONY: build test verify lint bench benchsim fuzz golden faultcheck
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,21 @@ test:
 lint:
 	$(GO) run ./cmd/mtlint ./...
 
-verify:
+verify: faultcheck
 	$(GO) vet ./...
 	$(GO) run ./cmd/mtlint ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test -race ./...
+
+# Robustness drills (DESIGN.md §9): the fault-injection matrix (every
+# corruption class at every byte offset must be detected, never silently
+# simulated), journal crash/resume behaviour, the engine-fallback guard,
+# and the kill-and-resume byte-identity test.
+faultcheck:
+	$(GO) test ./internal/resilience
+	$(GO) test ./internal/trace -run 'TestMTT2|TestReadRejects|TestWriteFile'
+	$(GO) test ./cmd/experiments -run 'TestKillAndResume|TestResume|TestFreshRun|TestRunDegraded|TestRunStepBudget'
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -39,7 +41,17 @@ type benchSimReport struct {
 	MemoFirstSecs    float64     `json:"memoized_figure_first_call_seconds"`
 	MemoSecondSecs   float64     `json:"memoized_figure_second_call_seconds"`
 	MemoSpeedup      float64     `json:"memoized_figure_speedup"`
-	GeneratedBy      string      `json:"generated_by"`
+	// Resilience costs on the memoized sweep path: the engine guard with
+	// its watchdog armed but cross-checking off (the wrapper itself), the
+	// guard cross-checking every 4th cell on the reference engine, and
+	// the per-section journal writes of a -journal sweep.
+	GuardMemoSecs      float64 `json:"guarded_figure_first_call_seconds"`
+	GuardOverheadPct   float64 `json:"guard_overhead_pct"`
+	CrossCheckSecs     float64 `json:"crosscheck_figure_first_call_seconds"`
+	CrossCheckPct      float64 `json:"crosscheck_overhead_pct"`
+	JournalSecs        float64 `json:"journal_seconds"`
+	JournalOverheadPct float64 `json:"journal_overhead_pct"`
+	GeneratedBy        string  `json:"generated_by"`
 }
 
 // benchSim times both engines sequentially over every (algorithm,
@@ -151,6 +163,62 @@ func benchSim(scale float64, seed int64, procsSpec, path string) error {
 		rep.MemoSpeedup = rep.MemoFirstSecs / rep.MemoSecondSecs
 	}
 	fmt.Printf("  memoized ExecutionFigure: first %.2fs, second %.6fs\n", rep.MemoFirstSecs, rep.MemoSecondSecs)
+
+	// Guarded sweep: the identical fresh-suite sweep with the engine
+	// guard's watchdog armed but cross-checking off, pricing the per-event
+	// guard check and the wrapper itself.
+	guardSweep := func(sampleEvery int) (float64, error) {
+		g := &resilience.EngineGuard{
+			SampleEvery: sampleEvery,
+			Guard:       sim.Guard{MaxSteps: 1 << 62},
+		}
+		gopts := opts
+		gopts.Runner = g.Run
+		gopts.DynRunner = g.RunDynamic
+		gs := core.NewSuite(gopts)
+		t0 := time.Now()
+		if _, err := gs.ExecutionFigure(app); err != nil {
+			return 0, err
+		}
+		return time.Since(t0).Seconds(), nil
+	}
+	if rep.GuardMemoSecs, err = guardSweep(0); err != nil {
+		return err
+	}
+	rep.GuardOverheadPct = (rep.GuardMemoSecs/rep.MemoFirstSecs - 1) * 100
+	fmt.Printf("  guarded ExecutionFigure (watchdog only): %.2fs (%.1f%% overhead)\n",
+		rep.GuardMemoSecs, rep.GuardOverheadPct)
+	if rep.CrossCheckSecs, err = guardSweep(4); err != nil {
+		return err
+	}
+	rep.CrossCheckPct = (rep.CrossCheckSecs/rep.MemoFirstSecs - 1) * 100
+	fmt.Printf("  guarded ExecutionFigure (crosscheck 4): %.2fs (%.1f%% overhead)\n",
+		rep.CrossCheckSecs, rep.CrossCheckPct)
+
+	// Journal cost: the synced per-section records a -all -journal sweep
+	// writes (about ten sections), priced against the sweep itself.
+	jdir, err := os.MkdirTemp("", "benchsim-journal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(jdir)
+	t0 = time.Now()
+	j, err := resilience.OpenJournal(filepath.Join(jdir, "sweep.journal"), "benchsim")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Record(fmt.Sprintf("Section %d", i), "crc32:00000000"); err != nil {
+			return err
+		}
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	rep.JournalSecs = time.Since(t0).Seconds()
+	rep.JournalOverheadPct = rep.JournalSecs / rep.MemoFirstSecs * 100
+	fmt.Printf("  journal: 10 synced records in %.4fs (%.2f%% of sweep)\n",
+		rep.JournalSecs, rep.JournalOverheadPct)
 
 	f, err := os.Create(path)
 	if err != nil {

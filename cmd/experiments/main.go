@@ -7,11 +7,25 @@
 //	experiments -table 4
 //	experiments -figure 2
 //	experiments -all -scale 0.5 -procs 2,4,8,16
+//	experiments -all -journal sweep.journal            # journal progress
+//	experiments -all -journal sweep.journal -resume    # skip finished sections
+//	experiments -all -timeout 30m -maxsteps 2000000000 # watchdogs
+//	experiments -all -crosscheck 4                     # engine cross-checking
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 completed degraded (the
+// fast engine diverged from the reference engine mid-sweep and was
+// benched; the emitted numbers come from the reference engine and are
+// correct).
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -24,13 +38,31 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/resilience"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-// emitter prints every artifact to stdout and, when an output directory is
-// set, also writes <name>.txt, <name>.csv and (for charts) <name>.svg.
+// emitter prints every artifact to the sweep's output stream and, when an
+// output directory is set, also writes <name>.txt, <name>.csv and (for
+// charts) <name>.svg. It keeps a running CRC32 of the rendered text so
+// each journal record carries a content checksum of its section.
 type emitter struct {
 	outdir string
+	out    io.Writer
+	crc    uint32
+}
+
+// emit renders one artifact, folds it into the section checksum, and
+// forwards it to the output stream.
+func (e *emitter) emit(render func(w io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		return err
+	}
+	e.crc = crc32.Update(e.crc, crc32.IEEETable, buf.Bytes())
+	_, err := e.out.Write(buf.Bytes())
+	return err
 }
 
 func (e *emitter) save(name, ext string, write func(f *os.File) error) error {
@@ -49,7 +81,7 @@ func (e *emitter) save(name, ext string, write func(f *os.File) error) error {
 }
 
 func (e *emitter) table(name string, t *report.Table) error {
-	if err := t.Render(os.Stdout); err != nil {
+	if err := e.emit(t.Render); err != nil {
 		return err
 	}
 	if err := e.save(name, ".txt", func(f *os.File) error { return t.Render(f) }); err != nil {
@@ -59,7 +91,7 @@ func (e *emitter) table(name string, t *report.Table) error {
 }
 
 func (e *emitter) chart(name string, c *report.BarChart) error {
-	if err := c.Render(os.Stdout); err != nil {
+	if err := e.emit(c.Render); err != nil {
 		return err
 	}
 	if err := e.save(name, ".txt", func(f *os.File) error { return c.Render(f) }); err != nil {
@@ -75,24 +107,72 @@ func (e *emitter) chart(name string, c *report.BarChart) error {
 // -progress heartbeat.
 var curSection atomic.Value
 
+// errInterrupted is returned by the sweepCfg.interruptAfter test hook,
+// which simulates a kill between sections for the kill-and-resume test.
+var errInterrupted = errors.New("sweep interrupted (test hook)")
+
+// sweepCfg carries one sweep invocation's full configuration.
+type sweepCfg struct {
+	// Selection.
+	all           bool
+	table, figure int
+	ablation      string
+	jsonPath      string
+
+	// Workload and sweep shape.
+	scale   float64
+	seed    int64
+	procs   string
+	fig5app string
+	outdir  string
+
+	// Resilience.
+	journalPath string        // journal completed sections here ("" = off)
+	resume      bool          // skip sections the journal records complete
+	timeout     time.Duration // cancel all simulations after this long (0 = off)
+	maxSteps    uint64        // per-simulation event budget (0 = unbounded)
+	crossCheck  int           // cross-check every Nth cell on the reference engine (0 = off)
+
+	// Plumbing (zero values mean stdout / quiet logger).
+	out io.Writer
+	log *slog.Logger
+
+	// interruptAfter, when positive, aborts the sweep after that many
+	// sections complete. Test-only: it simulates a mid-sweep kill.
+	interruptAfter int
+}
+
+// binding is the configuration fingerprint a journal is bound to: every
+// knob that changes section *content*. Selection flags are deliberately
+// excluded — resuming a -all sweep from a -table 1 journal is legitimate
+// (the same Table 1 would be regenerated either way).
+func (cfg *sweepCfg) binding() string {
+	return fmt.Sprintf("scale=%g seed=%d procs=%s fig5app=%s", cfg.scale, cfg.seed, cfg.procs, cfg.fig5app)
+}
+
 func main() {
 	var (
-		all      = flag.Bool("all", false, "run every table and figure")
-		table    = flag.Int("table", 0, "run one table (1-5)")
-		figure   = flag.Int("figure", 0, "run one figure (2-5)")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		seed     = flag.Int64("seed", 1994, "generation seed")
-		procs    = flag.String("procs", "2,4,8,16", "processor counts, comma separated")
-		fig5     = flag.String("fig5app", "MP3D", "application for the Figure 5 miss-component graph")
-		abl      = flag.String("ablation", "", "ablation study: assoc, cachesize, contexts, uniformity, writeruns, protocol, latency, contention, dynamic or all")
-		outdir   = flag.String("outdir", "", "also write each artifact as .txt/.csv/.svg into this directory")
-		jsonF    = flag.String("json", "", "regenerate all tables/figures and save them as one JSON bundle")
-		bsim     = flag.String("benchsim", "", "benchmark the reference vs fast simulation engines and save the comparison as JSON")
-		timeline = flag.String("timeline", "", "simulate one representative run and write its Perfetto timeline JSON to this file")
-		progress = flag.Duration("progress", 0, "log a progress heartbeat at this interval (e.g. 10s) while sweeps run")
-		verbose  = flag.Bool("v", false, "verbose diagnostics")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		all        = flag.Bool("all", false, "run every table and figure")
+		table      = flag.Int("table", 0, "run one table (1-5)")
+		figure     = flag.Int("figure", 0, "run one figure (2-5)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		seed       = flag.Int64("seed", 1994, "generation seed")
+		procs      = flag.String("procs", "2,4,8,16", "processor counts, comma separated")
+		fig5       = flag.String("fig5app", "MP3D", "application for the Figure 5 miss-component graph")
+		abl        = flag.String("ablation", "", "ablation study: assoc, cachesize, contexts, uniformity, writeruns, protocol, latency, contention, dynamic or all")
+		outdir     = flag.String("outdir", "", "also write each artifact as .txt/.csv/.svg into this directory")
+		jsonF      = flag.String("json", "", "regenerate all tables/figures and save them as one JSON bundle")
+		journal    = flag.String("journal", "", "journal completed sections to this file (crash-safe)")
+		resume     = flag.Bool("resume", false, "skip sections the -journal file records as complete")
+		timeout    = flag.Duration("timeout", 0, "abort all in-flight simulations after this long (e.g. 30m)")
+		maxSteps   = flag.Uint64("maxsteps", 0, "abort any single simulation after this many events (livelock watchdog)")
+		crossCheck = flag.Int("crosscheck", 0, "cross-check every Nth simulation against the reference engine (0 = off)")
+		bsim       = flag.String("benchsim", "", "benchmark the reference vs fast simulation engines and save the comparison as JSON")
+		timeline   = flag.String("timeline", "", "simulate one representative run and write its Perfetto timeline JSON to this file")
+		progress   = flag.Duration("progress", 0, "log a progress heartbeat at this interval (e.g. 10s) while sweeps run")
+		verbose    = flag.Bool("v", false, "verbose diagnostics")
+		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, *verbose)
@@ -139,17 +219,29 @@ func main() {
 	defer stop()
 
 	var err error
+	var degraded bool
 	switch {
 	case *bsim != "":
 		err = benchSim(*scale, *seed, *procs, *bsim)
 	case *timeline != "":
 		err = timelineRun(*scale, *seed, *procs, *timeline, log)
 	default:
-		err = run(*all, *table, *figure, *scale, *seed, *procs, *fig5, *abl, *outdir, *jsonF)
+		degraded, err = run(sweepCfg{
+			all: *all, table: *table, figure: *figure, ablation: *abl, jsonPath: *jsonF,
+			scale: *scale, seed: *seed, procs: *procs, fig5app: *fig5, outdir: *outdir,
+			journalPath: *journal, resume: *resume,
+			timeout: *timeout, maxSteps: *maxSteps, crossCheck: *crossCheck,
+			log: log,
+		})
 	}
 	if err != nil {
 		stop()
 		fail(err)
+	}
+	if degraded {
+		stop()
+		log.Error("sweep completed DEGRADED: the fast engine diverged and was benched; results come from the reference engine")
+		os.Exit(obs.CodeDegraded)
 	}
 }
 
@@ -165,34 +257,99 @@ func parseProcs(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5app, ablation, outdir, jsonPath string) error {
-	pcs, err := parseProcs(procsSpec)
-	if err != nil {
-		return err
+// run regenerates the selected sections. It reports degraded=true when
+// the sweep finished but the engine guard benched the fast engine — the
+// caller should exit with obs.CodeDegraded.
+func run(cfg sweepCfg) (degraded bool, err error) {
+	if cfg.out == nil {
+		cfg.out = os.Stdout
 	}
-	if outdir != "" {
-		if err := os.MkdirAll(outdir, 0o755); err != nil {
-			return err
+	if cfg.log == nil {
+		cfg.log = obs.NewLogger(io.Discard, false)
+	}
+	pcs, err := parseProcs(cfg.procs)
+	if err != nil {
+		return false, err
+	}
+	if cfg.resume && cfg.journalPath == "" {
+		return false, obs.Usagef("-resume requires -journal")
+	}
+	if cfg.outdir != "" {
+		if err := os.MkdirAll(cfg.outdir, 0o755); err != nil {
+			return false, err
 		}
 	}
-	em := &emitter{outdir: outdir}
+
+	var j *resilience.Journal
+	if cfg.journalPath != "" {
+		if !cfg.resume {
+			// A fresh run must start a fresh journal, or stale records
+			// from an earlier sweep would silently skip live sections.
+			if err := os.Remove(cfg.journalPath); err != nil && !os.IsNotExist(err) {
+				return false, err
+			}
+		}
+		j, err = resilience.OpenJournal(cfg.journalPath, cfg.binding())
+		if err != nil {
+			return false, err
+		}
+		defer j.Close()
+	}
+
+	em := &emitter{outdir: cfg.outdir, out: cfg.out}
 	opts := core.DefaultOptions()
-	opts.Params = workload.Params{Scale: scale, Seed: seed}
+	opts.Params = workload.Params{Scale: cfg.scale, Seed: cfg.seed}
 	opts.ProcCounts = pcs
+
+	var guard *resilience.EngineGuard
+	if cfg.crossCheck > 0 || cfg.maxSteps > 0 || cfg.timeout > 0 {
+		var cancel atomic.Bool
+		if cfg.timeout > 0 {
+			timer := time.AfterFunc(cfg.timeout, func() {
+				cancel.Store(true)
+				cfg.log.Error(fmt.Sprintf("timeout: cancelling all simulations after %s", cfg.timeout))
+			})
+			defer timer.Stop()
+		}
+		guard = &resilience.EngineGuard{
+			SampleEvery: cfg.crossCheck,
+			Guard:       sim.Guard{MaxSteps: cfg.maxSteps, Cancel: &cancel},
+			OnFallback:  func(rep resilience.DivergenceReport) { cfg.log.Error(rep.String()) },
+		}
+		opts.Runner = guard.Run
+		opts.DynRunner = guard.RunDynamic
+	}
 	s := core.NewSuite(opts)
 
+	completed := 0
 	section := func(name string, f func() error) error {
+		if j != nil {
+			if sum, ok := j.Done(name); ok {
+				fmt.Fprintf(cfg.out, "[%s already complete (%s), skipped]\n\n", name, sum)
+				return nil
+			}
+		}
 		curSection.Store(name)
+		em.crc = 0
 		t0 := time.Now()
 		if err := f(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("[%s regenerated in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(cfg.out, "[%s regenerated in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		if j != nil {
+			if err := j.Record(name, fmt.Sprintf("crc32:%08x", em.crc)); err != nil {
+				return err
+			}
+		}
+		completed++
+		if cfg.interruptAfter > 0 && completed >= cfg.interruptAfter {
+			return errInterrupted
+		}
 		return nil
 	}
 
 	want := func(t, f int) bool {
-		return all || (t != 0 && table == t) || (f != 0 && figure == f)
+		return cfg.all || (t != 0 && cfg.table == t) || (f != 0 && cfg.figure == f)
 	}
 	ran := false
 
@@ -205,7 +362,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("table1", core.Table1Report(rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if want(2, 0) {
@@ -217,7 +374,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("table2", core.Table2Report(rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if want(3, 0) {
@@ -225,7 +382,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 		if err := section("Table 3", func() error {
 			return em.table("table3", core.Table3Report())
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	for _, fig := range []struct {
@@ -245,19 +402,19 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			return em.chart(fmt.Sprintf("figure%d", fig.n),
 				f.Chart(fmt.Sprintf("Figure %d: Execution time for %s", fig.n, fig.app)))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if want(0, 5) {
 		ran = true
 		if err := section("Figure 5", func() error {
-			cells, err := s.MissComponentFigure(fig5app)
+			cells, err := s.MissComponentFigure(cfg.fig5app)
 			if err != nil {
 				return err
 			}
-			return em.table("figure5", core.MissComponentReport(fig5app, cells))
+			return em.table("figure5", core.MissComponentReport(cfg.fig5app, cells))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if want(4, 0) {
@@ -269,7 +426,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("table4", core.Table4Report(rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if want(5, 0) {
@@ -281,11 +438,11 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("table5", core.Table5Report(cells, opts.ProcCounts))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	wantAbl := func(name string) bool {
-		return ablation == name || ablation == "all"
+		return cfg.ablation == name || cfg.ablation == "all"
 	}
 	if wantAbl("assoc") {
 		ran = true
@@ -296,7 +453,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_assoc", core.AssocReport("Patch", "LOAD-BAL", 16, rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if wantAbl("cachesize") {
@@ -309,7 +466,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_cachesize", core.CacheSizeReport("Water", "LOAD-BAL", 8, rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if wantAbl("contexts") {
@@ -321,7 +478,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_contexts", core.ContextReport("Water", 4, rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if wantAbl("uniformity") {
@@ -333,7 +490,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_uniformity", core.UniformityReport(rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if wantAbl("protocol") {
@@ -345,7 +502,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_protocol", core.ProtocolReport("Fullconn", 8, rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if wantAbl("latency") {
@@ -357,7 +514,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_latency", core.LatencyReport("FFT", 8, rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if wantAbl("contention") {
@@ -369,7 +526,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_contention", core.ContentionReport("MP3D", "LOAD-BAL", 16, rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if wantAbl("dynamic") {
@@ -382,7 +539,7 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_dynamic", core.DynamicReport(8, 2, rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if wantAbl("writeruns") {
@@ -394,27 +551,31 @@ func run(all bool, table, figure int, scale float64, seed int64, procsSpec, fig5
 			}
 			return em.table("ablation_writeruns", core.WriteRunReport(rows))
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
-	if jsonPath != "" {
+	if cfg.jsonPath != "" {
 		ran = true
 		if err := section("JSON bundle", func() error {
-			b, err := s.CollectResults(fig5app)
+			b, err := s.CollectResults(cfg.fig5app)
 			if err != nil {
 				return err
 			}
-			if err := b.SaveJSON(jsonPath); err != nil {
+			if err := b.SaveJSON(cfg.jsonPath); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", jsonPath)
+			fmt.Fprintf(cfg.out, "wrote %s\n", cfg.jsonPath)
 			return nil
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if !ran {
-		return obs.Usagef("nothing selected: use -all, -table N, -figure N, -ablation NAME, -json FILE, -benchsim FILE or -timeline FILE")
+		return false, obs.Usagef("nothing selected: use -all, -table N, -figure N, -ablation NAME, -json FILE, -benchsim FILE or -timeline FILE")
 	}
-	return nil
+	if guard != nil && guard.Degraded() {
+		fmt.Fprintf(cfg.out, "WARNING: %s\n", guard.Report())
+		return true, nil
+	}
+	return false, nil
 }

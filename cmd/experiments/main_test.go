@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,27 +33,46 @@ func TestParseProcs(t *testing.T) {
 	}
 }
 
+// testSweep returns the small sweep configuration the cmd tests share.
+func testSweep() sweepCfg {
+	return sweepCfg{scale: 1, seed: 1, procs: "2", fig5app: "MP3D", out: io.Discard}
+}
+
 func TestRunRejectsEmptySelection(t *testing.T) {
-	if err := run(false, 0, 0, 1, 1, "2", "MP3D", "", "", ""); err == nil {
+	cfg := testSweep()
+	if _, err := run(cfg); err == nil {
 		t.Error("empty selection accepted")
 	}
-	if err := run(false, 0, 0, 1, 1, "bogus", "MP3D", "", "", ""); err == nil {
+	cfg.procs = "bogus"
+	if _, err := run(cfg); err == nil {
 		t.Error("bad procs accepted")
 	}
 }
 
 func TestRunSingleTable(t *testing.T) {
-	if err := run(false, 3, 0, 1, 1, "2", "MP3D", "", t.TempDir(), ""); err != nil {
+	cfg := testSweep()
+	cfg.table = 3
+	cfg.outdir = t.TempDir()
+	if _, err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUsageErrors(t *testing.T) {
-	if err := run(false, 0, 0, 1, 1, "2", "MP3D", "", "", ""); !obs.IsUsage(err) {
+	cfg := testSweep()
+	if _, err := run(cfg); !obs.IsUsage(err) {
 		t.Errorf("empty selection: err = %v, want usage error", err)
 	}
-	if err := run(false, 0, 0, 1, 1, "bogus", "MP3D", "", "", ""); !obs.IsUsage(err) {
+	bad := testSweep()
+	bad.procs = "bogus"
+	if _, err := run(bad); !obs.IsUsage(err) {
 		t.Errorf("bad procs: err = %v, want usage error", err)
+	}
+	noJournal := testSweep()
+	noJournal.table = 3
+	noJournal.resume = true
+	if _, err := run(noJournal); !obs.IsUsage(err) {
+		t.Errorf("-resume without -journal: err = %v, want usage error", err)
 	}
 }
 

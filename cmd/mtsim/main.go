@@ -47,6 +47,7 @@ type options struct {
 	sample       string
 	sparkline    string
 	sampleWindow uint64
+	maxSteps     uint64
 	verbose      bool
 }
 
@@ -67,6 +68,7 @@ func main() {
 	flag.StringVar(&o.sample, "sample", "", "write windowed time-series samples as CSV to this file")
 	flag.StringVar(&o.sparkline, "sparkline", "", "write time-series sparklines as SVG to this file")
 	flag.Uint64Var(&o.sampleWindow, "sample-window", 10000, "sampling window width in cycles for -sample/-sparkline")
+	flag.Uint64Var(&o.maxSteps, "maxsteps", 0, "abort after this many simulation events (livelock watchdog, 0 = unbounded)")
 	flag.BoolVar(&o.verbose, "v", false, "verbose diagnostics")
 	flag.Parse()
 
@@ -116,6 +118,9 @@ func run(o options, out io.Writer, log *slog.Logger) error {
 	}
 	probe := obs.Multi(probes...)
 
+	// The zero guard is a plain unbounded run; -maxsteps arms it.
+	guard := sim.Guard{MaxSteps: o.maxSteps}
+
 	alg := o.alg
 	var res *sim.Result
 	if o.dynamic != "" {
@@ -127,7 +132,7 @@ func run(o options, out io.Writer, log *slog.Logger) error {
 		default:
 			return obs.Usagef("unknown -dynamic policy %q (fifo or longest-first)", o.dynamic)
 		}
-		res, err = sim.RunDynamicObserved(tr, cfg, policy, probe)
+		res, err = sim.RunDynamicGuarded(tr, cfg, policy, probe, guard)
 		if err != nil {
 			return err
 		}
@@ -141,7 +146,7 @@ func run(o options, out io.Writer, log *slog.Logger) error {
 		if err != nil {
 			return err
 		}
-		res, err = sim.RunObserved(tr, pl, cfg, sim.FastEngine, probe)
+		res, err = sim.RunGuarded(tr, pl, cfg, sim.FastEngine, probe, guard)
 		if err != nil {
 			return err
 		}

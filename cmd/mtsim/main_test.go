@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/obstest"
+	"repro/internal/sim"
 )
 
 // testRun invokes run with discarded output and a buffer-backed logger.
@@ -128,5 +130,28 @@ func TestZeroSampleWindowRejected(t *testing.T) {
 	err := testRun(o)
 	if err == nil || !obs.IsUsage(err) {
 		t.Errorf("zero sample window: err = %v, want usage error", err)
+	}
+}
+
+// TestMaxSteps: the -maxsteps watchdog aborts a run with a typed budget
+// diagnostic, for both static and dynamic scheduling.
+func TestMaxSteps(t *testing.T) {
+	o := base()
+	o.maxSteps = 10
+	err := testRun(o)
+	var be *sim.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("static run: err = %v, want *sim.BudgetError", err)
+	}
+	o.dynamic = "fifo"
+	if err := testRun(o); !errors.As(err, &be) {
+		t.Fatalf("dynamic run: err = %v, want *sim.BudgetError", err)
+	}
+
+	// A generous budget must not perturb the run.
+	o = base()
+	o.maxSteps = 1 << 40
+	if err := testRun(o); err != nil {
+		t.Fatalf("loose budget aborted the run: %v", err)
 	}
 }

@@ -81,14 +81,9 @@ func run(list bool, app, in, out string, stats bool, scale float64, seed int64) 
 		tr.App, tr.NumThreads(), tr.TotalRefs(), tr.TotalInstructions())
 
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		n, err := tr.WriteTo(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		// Atomic write (temp file + rename): a crash mid-write never
+		// leaves a torn trace at the destination.
+		n, err := tr.WriteFile(out)
 		if err != nil {
 			return err
 		}

@@ -45,7 +45,7 @@ func (s *Suite) DynamicComparison(apps []string, procs, contextsPerProc int) ([]
 		if err != nil {
 			return nil, err
 		}
-		lb, err := sim.Run(tr, lbPl, cfg)
+		lb, err := s.simRun(tr, lbPl, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -53,15 +53,15 @@ func (s *Suite) DynamicComparison(apps []string, procs, contextsPerProc int) ([]
 		if err != nil {
 			return nil, err
 		}
-		random, err := sim.Run(tr, rndPl, cfg)
+		random, err := s.simRun(tr, rndPl, cfg)
 		if err != nil {
 			return nil, err
 		}
-		fifo, err := sim.RunDynamic(tr, cfg, sim.FIFO)
+		fifo, err := s.dynRun(tr, cfg, sim.FIFO)
 		if err != nil {
 			return nil, err
 		}
-		lpt, err := sim.RunDynamic(tr, cfg, sim.LongestFirst)
+		lpt, err := s.dynRun(tr, cfg, sim.LongestFirst)
 		if err != nil {
 			return nil, err
 		}

@@ -30,6 +30,14 @@ type Options struct {
 	RandomSeed int64
 	// Parallelism bounds concurrent simulations (default: NumCPU).
 	Parallelism int
+	// Runner, when non-nil, replaces sim.Run for every static-placement
+	// simulation the suite performs. Installing a runner — typically a
+	// resilience.EngineGuard's Run method — threads watchdogs and
+	// runtime engine cross-checking through every cell of a sweep.
+	Runner func(*trace.Trace, *placement.Placement, sim.Config) (*sim.Result, error)
+	// DynRunner is the same hook for dynamic-scheduling simulations;
+	// nil means sim.RunDynamic.
+	DynRunner func(*trace.Trace, sim.Config, sim.SchedulePolicy) (*sim.Result, error)
 }
 
 // DefaultOptions returns the paper's configuration sweep at the library's
@@ -136,6 +144,26 @@ func NewSuite(opts Options) *Suite {
 
 // Options returns the suite's configuration.
 func (s *Suite) Options() Options { return s.opts }
+
+// simRun dispatches one static-placement simulation through the
+// configured Runner (sim.Run by default). Every simulation the suite
+// performs funnels through here or dynRun, so an installed runner sees
+// the whole sweep.
+func (s *Suite) simRun(tr *trace.Trace, pl *placement.Placement, cfg sim.Config) (*sim.Result, error) {
+	if s.opts.Runner != nil {
+		return s.opts.Runner(tr, pl, cfg)
+	}
+	return sim.Run(tr, pl, cfg)
+}
+
+// dynRun dispatches one dynamic-scheduling simulation through the
+// configured DynRunner (sim.RunDynamic by default).
+func (s *Suite) dynRun(tr *trace.Trace, cfg sim.Config, policy sim.SchedulePolicy) (*sim.Result, error) {
+	if s.opts.DynRunner != nil {
+		return s.opts.DynRunner(tr, cfg, policy)
+	}
+	return sim.RunDynamic(tr, cfg, policy)
+}
 
 // Trace returns the application's (cached) trace.
 func (s *Suite) Trace(app string) (*trace.Trace, error) {
@@ -282,7 +310,7 @@ func (s *Suite) runPlacement(app string, pl *placement.Placement, procs int, inf
 	}
 	s.mu.Unlock()
 	cell.once.Do(func() {
-		cell.res, cell.err = sim.Run(tr, pl, cfg)
+		cell.res, cell.err = s.simRun(tr, pl, cfg)
 	})
 	return cell.res, cell.err
 }
@@ -347,7 +375,7 @@ func (s *Suite) CoherenceMeasurement(app string) ([][]uint64, *sim.Result, error
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := sim.Run(tr, pl, cfg)
+	res, err := s.simRun(tr, pl, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -33,6 +33,19 @@ func NewLogger(w io.Writer, verbose bool) *slog.Logger {
 	}))
 }
 
+// Process exit codes shared by the commands. Scripts driving long sweeps
+// branch on these: 0/1/2 are the conventional success/error/usage trio,
+// and CodeDegraded distinguishes "the numbers are correct but were
+// produced in degraded mode" (e.g. the fast engine was benched after a
+// divergence and the sweep finished on the reference engine) from both
+// clean success and hard failure.
+const (
+	CodeOK       = 0
+	CodeError    = 1
+	CodeUsage    = 2
+	CodeDegraded = 3
+)
+
 // UsageError marks a command-line validation failure: the command should
 // print its usage text and exit with code 2, the flag package's own
 // convention for bad invocations.
@@ -64,9 +77,9 @@ func Fail(log *slog.Logger, err error, usage func()) int {
 		if usage != nil {
 			usage()
 		}
-		return 2
+		return CodeUsage
 	}
-	return 1
+	return CodeError
 }
 
 // StartHeartbeat logs a progress record every interval until the returned

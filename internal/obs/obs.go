@@ -109,6 +109,11 @@ type Probe interface {
 	// bookkeeping: the two engines agree on every architectural event
 	// above, but may momentarily disagree on stale-entry counts here.
 	QueueDepth(t uint64, depth int)
+	// Fault: a resilience event (watchdog trip, engine divergence,
+	// fallback engagement) at time t. Fault events are emitted by the
+	// robustness layer, not the architectural simulation, and are always
+	// cold-path.
+	Fault(t uint64, kind FaultKind)
 }
 
 // multi fans events out to several probes in order.
@@ -209,6 +214,7 @@ type Counter struct {
 	Pair          uint64
 	Switches      uint64
 	QueueSamples  uint64
+	Faults        [NumFaultKinds]uint64
 	MaxQueueDepth int
 	ExecTime      uint64
 	Meta          RunMeta

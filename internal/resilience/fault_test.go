@@ -1,0 +1,197 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// matrixTrace builds the small trace the fault matrix corrupts.
+func matrixTrace() *trace.Trace {
+	rng := rand.New(rand.NewSource(99))
+	tr := trace.New("matrix", 3)
+	for i := 0; i < 3; i++ {
+		r := trace.NewRecorder(tr, i)
+		for j := 0; j < 40; j++ {
+			r.Compute(rng.Intn(5))
+			addr := trace.SharedBase + uint64(rng.Intn(32))*trace.WordSize
+			if rng.Intn(3) == 0 {
+				r.Store(addr)
+			} else {
+				r.Load(addr)
+			}
+		}
+	}
+	return tr
+}
+
+// TestFaultMatrix is the zero-silent-corruption proof for the trace
+// pipeline: every corrupting fault class, applied at every byte offset of
+// an MTT2 stream, must surface as a typed *trace.CorruptError — never a
+// trace that silently simulates. The non-corrupting class (ShortRead)
+// must conversely decode to the identical trace.
+func TestFaultMatrix(t *testing.T) {
+	tr := matrixTrace()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	classes := []FaultClass{BitFlip, Truncate, DupRead, ShortRead, ErrAfter}
+	silent := 0
+	for _, class := range classes {
+		for off := 0; off < len(stream); off++ {
+			f := Fault{Class: class, Offset: int64(off), Bit: uint8(off % 8), Count: int64(1 + off%7)}
+			if class == DupRead && off == 0 {
+				continue // nothing delivered yet; nothing to duplicate
+			}
+			got, err := trace.ReadFrom(NewFaultingReader(bytes.NewReader(stream), f))
+
+			if !class.Corrupts() {
+				// Fragmented delivery is legal: the read must succeed and
+				// match the clean decode.
+				if err != nil {
+					t.Fatalf("%v: legal short reads rejected: %v", f, err)
+				}
+				if got.TotalRefs() != tr.TotalRefs() {
+					t.Fatalf("%v: short reads changed the decoded trace", f)
+				}
+				continue
+			}
+
+			if err == nil {
+				silent++
+				t.Errorf("%v: corrupted stream decoded silently (%d refs)", f, got.TotalRefs())
+				continue
+			}
+			var ce *trace.CorruptError
+			if !errors.As(err, &ce) {
+				t.Errorf("%v: got %v, want *trace.CorruptError", f, err)
+			}
+			switch class {
+			case Truncate:
+				if !errors.Is(err, trace.ErrTruncated) {
+					t.Errorf("%v: cause %v, want ErrTruncated", f, err)
+				}
+			case ErrAfter:
+				// The injected root cause must survive the wrapping.
+				if !errors.Is(err, ErrInjected) {
+					t.Errorf("%v: cause %v, want ErrInjected", f, err)
+				}
+			}
+		}
+	}
+	if silent > 0 {
+		t.Fatalf("%d corrupted streams simulated silently", silent)
+	}
+}
+
+// TestFaultingReaderDeterministic: the same fault yields the same damaged
+// bytes on every read.
+func TestFaultingReaderDeterministic(t *testing.T) {
+	src := make([]byte, 4096)
+	rand.New(rand.NewSource(5)).Read(src)
+	for _, f := range []Fault{
+		{Class: BitFlip, Offset: 1000, Bit: 3},
+		{Class: Truncate, Offset: 2000},
+		{Class: DupRead, Offset: 512, Count: 9},
+		{Class: ShortRead, Offset: 100},
+	} {
+		a, errA := io.ReadAll(NewFaultingReader(bytes.NewReader(src), f))
+		b, errB := io.ReadAll(NewFaultingReader(bytes.NewReader(src), f))
+		if !bytes.Equal(a, b) || (errA == nil) != (errB == nil) {
+			t.Errorf("%v: two reads of the same faulted stream differ", f)
+		}
+	}
+}
+
+// TestFaultingReaderShapes pins the exact damage each class inflicts.
+func TestFaultingReaderShapes(t *testing.T) {
+	src := []byte("0123456789abcdef")
+
+	read := func(f Fault) ([]byte, error) {
+		return io.ReadAll(NewFaultingReader(bytes.NewReader(src), f))
+	}
+
+	if got, err := read(Fault{Class: BitFlip, Offset: 4, Bit: 0}); err != nil || got[4] != '4'^1 {
+		t.Errorf("bit-flip: got %q, %v", got, err)
+	}
+	if got, err := read(Fault{Class: Truncate, Offset: 7}); err != nil || string(got) != "0123456" {
+		t.Errorf("truncate: got %q, %v", got, err)
+	}
+	if got, err := read(Fault{Class: DupRead, Offset: 5, Count: 3}); err != nil || string(got) != "01234"+"234"+"56789abcdef" {
+		t.Errorf("dup-read: got %q, %v", got, err)
+	}
+	if got, err := read(Fault{Class: ShortRead, Offset: 3}); err != nil || string(got) != string(src) {
+		t.Errorf("short-read: got %q, %v (must be lossless)", got, err)
+	}
+	got, err := read(Fault{Class: ErrAfter, Offset: 6})
+	if !errors.Is(err, ErrInjected) || string(got) != "012345" {
+		t.Errorf("err-after: got %q, %v", got, err)
+	}
+}
+
+// TestFaultingWriterAtomicity: a write-side fault mid-WriteFile must leave
+// no file (fresh path) or the old file (overwrite), never a partial one.
+func TestFaultingWriterShapes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFaultingWriter(&buf, Fault{Class: Truncate, Offset: 5})
+	if _, err := w.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "01234" {
+		t.Errorf("truncating writer stored %q", buf.String())
+	}
+
+	buf.Reset()
+	w = NewFaultingWriter(&buf, Fault{Class: BitFlip, Offset: 2, Bit: 1})
+	if _, err := w.Write([]byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "AA"+string([]byte{'A' ^ 2})+"A" {
+		t.Errorf("bit-flipping writer stored %q", buf.String())
+	}
+
+	buf.Reset()
+	w = NewFaultingWriter(&buf, Fault{Class: ErrAfter, Offset: 3})
+	if _, err := w.Write([]byte("0123456789")); !errors.Is(err, ErrInjected) {
+		t.Errorf("err-after writer: %v", err)
+	}
+}
+
+// TestWriteThenReadUnderFaults drives trace.WriteTo through a faulting
+// writer and asserts the reader rejects whatever lands on "disk".
+func TestWriteThenReadUnderFaults(t *testing.T) {
+	tr := matrixTrace()
+	var clean bytes.Buffer
+	if _, err := tr.WriteTo(&clean); err != nil {
+		t.Fatal(err)
+	}
+	n := clean.Len()
+	for off := 1; off < n; off += 17 {
+		for _, class := range []FaultClass{BitFlip, Truncate} {
+			var buf bytes.Buffer
+			fw := NewFaultingWriter(&buf, Fault{Class: class, Offset: int64(off), Bit: uint8(off % 8)})
+			// The faulting writer swallows write errors by design
+			// (modeling a crash, not an error the writer saw).
+			_, _ = tr.WriteTo(fw)
+			if _, err := trace.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+				t.Fatalf("%s@%d on write path: damaged file read back silently", class, off)
+			}
+		}
+	}
+}
+
+func ExampleFault_String() {
+	fmt.Println(Fault{Class: BitFlip, Offset: 12, Bit: 5})
+	fmt.Println(Fault{Class: Truncate, Offset: 40})
+	// Output:
+	// bit-flip@12.5
+	// truncate@40
+}

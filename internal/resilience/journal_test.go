@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path, "config-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Errorf("fresh journal has %d records", j.Len())
+	}
+	// Keys with spaces ("Table 1") and values with quotes must survive.
+	records := map[string]string{
+		"Table 1":            "crc:11111111",
+		"Figure 2":           "crc:22222222",
+		`weird "key" \ name`: "value with spaces",
+	}
+	for k, v := range records {
+		if err := j.Record(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, "config-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != len(records) {
+		t.Fatalf("reopened journal has %d records, want %d", j2.Len(), len(records))
+	}
+	for k, v := range records {
+		got, ok := j2.Done(k)
+		if !ok || got != v {
+			t.Errorf("Done(%q) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	if _, ok := j2.Done("never recorded"); ok {
+		t.Error("unrecorded key reported done")
+	}
+}
+
+func TestJournalBindingMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path, "scale=1 seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("Table 1", "x")
+	j.Close()
+
+	if _, err := OpenJournal(path, "scale=2 seed=1"); err == nil {
+		t.Fatal("journal from a different configuration accepted for resume")
+	} else if !strings.Contains(err.Error(), "binding mismatch") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("Table 1", "x")
+	j.Record("Figure 2", "y")
+	j.Close()
+
+	// Simulate a crash mid-append: a partial record with no newline.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte(nil), full...), []byte("MTJ1 deadbeef \"Figure 3")...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, "cfg")
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if j2.Len() != 2 {
+		t.Errorf("torn journal has %d records, want 2", j2.Len())
+	}
+	if _, ok := j2.Done("Figure 3"); ok {
+		t.Error("torn record reported done")
+	}
+	// Appending after the torn tail must produce a well-formed journal.
+	if err := j2.Record("Figure 3", "z"); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(path, "cfg")
+	if err != nil {
+		t.Fatalf("journal damaged by post-torn append: %v", err)
+	}
+	defer j3.Close()
+	if v, ok := j3.Done("Figure 3"); !ok || v != "z" {
+		t.Errorf("post-torn record lost: %q, %v", v, ok)
+	}
+}
+
+func TestJournalInteriorDamageFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("Table 1", "x")
+	j.Record("Figure 2", "y")
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the middle record's body.
+	lines := strings.SplitAfter(string(data), "\n")
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x20
+	lines[1] = string(mid)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, "cfg"); err == nil {
+		t.Fatal("interior damage accepted")
+	}
+}
+
+func TestJournalReservedKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record("journal-binding", "evil"); err == nil {
+		t.Fatal("reserved key accepted")
+	}
+}

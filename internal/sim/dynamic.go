@@ -52,8 +52,19 @@ func RunDynamic(tr *trace.Trace, cfg Config, policy SchedulePolicy) (*Result, er
 // RunDynamicObserved is RunDynamic with an observation probe attached (see
 // RunObserved). A nil probe is exactly RunDynamic.
 func RunDynamicObserved(tr *trace.Trace, cfg Config, policy SchedulePolicy, probe obs.Probe) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	m, pl, err := newDynamicMachine(tr, cfg, policy)
+	if err != nil {
 		return nil, err
+	}
+	m.probe = probe
+	return m.run(tr, pl, 0)
+}
+
+// newDynamicMachine builds the self-scheduling machine and its seed
+// placement (shared by RunDynamicObserved and RunDynamicGuarded).
+func newDynamicMachine(tr *trace.Trace, cfg Config, policy SchedulePolicy) (*machine, *placement.Placement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
 	}
 	n := tr.NumThreads()
 	perProc := cfg.MaxContexts
@@ -61,7 +72,7 @@ func RunDynamicObserved(tr *trace.Trace, cfg Config, policy SchedulePolicy, prob
 		perProc = 1
 	}
 	if cfg.Processors*perProc > n {
-		return nil, fmt.Errorf("sim: dynamic run needs at least %d threads to seed %d processors x %d contexts, got %d",
+		return nil, nil, fmt.Errorf("sim: dynamic run needs at least %d threads to seed %d processors x %d contexts, got %d",
 			cfg.Processors*perProc, cfg.Processors, perProc, n)
 	}
 
@@ -97,10 +108,9 @@ func RunDynamicObserved(tr *trace.Trace, cfg Config, policy SchedulePolicy, prob
 	// cfg-independent state below.
 	m, err := newMachineDynamic(tr, pl, cfg, queue)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	m.probe = probe
-	return m.run(tr, pl, 0)
+	return m, pl, nil
 }
 
 // newMachineDynamic builds a machine whose processors pull additional

@@ -105,6 +105,9 @@ type machine struct {
 	// influence simulation state: probe-on and probe-off runs produce
 	// deeply equal Results (asserted by the differential suite).
 	probe obs.Probe
+	// guard, when non-nil, is the run's watchdog (step budget and
+	// cancellation, see RunGuarded). Nil for unguarded runs.
+	guard *guardState
 }
 
 // Engine selects one of the two simulation engine implementations. Both
@@ -282,6 +285,10 @@ func (m *machine) run(tr *trace.Trace, pl *placement.Placement, checkEvery int) 
 	steps := 0
 	for m.h.Len() > 0 {
 		ev := heap.Pop(&m.h).(event)
+		if m.guard != nil && m.guard.tripped() {
+			meta := obs.RunMeta{App: tr.App, Algorithm: pl.Algorithm, Engine: ReferenceEngine.String()}
+			return nil, m.guard.budgetError(meta, ev.time, m.h.Len(), m.probe)
+		}
 		p := m.procs[ev.proc]
 		if ev.seq != p.seq {
 			continue

@@ -58,6 +58,9 @@ type fastMachine struct {
 	// call sites as the reference engine. Probes never influence
 	// simulation state.
 	probe obs.Probe
+	// guard, when non-nil, is the run's watchdog (step budget and
+	// cancellation, see RunGuarded). Nil for unguarded runs.
+	guard *guardState
 }
 
 func newFastMachine(tr *trace.Trace, pl *placement.Placement, cfg Config) (*fastMachine, error) {
@@ -162,6 +165,10 @@ func (m *fastMachine) run(tr *trace.Trace, pl *placement.Placement) (*Result, er
 	}
 	for m.h.len() > 0 {
 		ev := m.h.pop()
+		if m.guard != nil && m.guard.tripped() {
+			meta := obs.RunMeta{App: tr.App, Algorithm: pl.Algorithm, Engine: FastEngine.String()}
+			return nil, m.guard.budgetError(meta, ev.time, m.h.len(), m.probe)
+		}
 		p := &m.procs[ev.proc]
 		if ev.seq != p.seq {
 			continue
@@ -193,6 +200,12 @@ func (m *fastMachine) run(tr *trace.Trace, pl *placement.Placement) (*Result, er
 	}
 	if m.wr != nil {
 		res.WriteRuns = m.wr.stats()
+	}
+	if f := fastFault.Load(); f != nil {
+		// Test-only corruption hook (SetFastEngineFault): deliberately
+		// damage the result so the divergence guard's detection path can
+		// be exercised end to end.
+		(*f)(res)
 	}
 	if m.probe != nil {
 		m.probe.RunEnd(res.ExecTime)

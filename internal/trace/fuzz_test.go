@@ -6,9 +6,10 @@ import (
 )
 
 // FuzzReadFrom feeds arbitrary bytes to the binary trace reader: it must
-// never panic and never return an invalid trace.
+// never panic and never return a partially-decoded or invalid trace
+// without an error.
 func FuzzReadFrom(f *testing.F) {
-	// Seed with a valid trace and a few mutations.
+	// Seed with a valid trace in both container formats plus mutations.
 	tr := New("seed", 2)
 	for i := 0; i < 2; i++ {
 		r := NewRecorder(tr, i)
@@ -20,23 +21,41 @@ func FuzzReadFrom(f *testing.F) {
 	if _, err := tr.WriteTo(&buf); err != nil {
 		f.Fatal(err)
 	}
-	valid := buf.Bytes()
-	f.Add(valid)
+	valid2 := append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if _, err := tr.writeMTT1To(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid1 := append([]byte(nil), buf.Bytes()...)
+	for _, valid := range [][]byte{valid1, valid2} {
+		f.Add(valid)
+		truncated := append([]byte(nil), valid[:len(valid)/2]...)
+		f.Add(truncated)
+		flipped := append([]byte(nil), valid...)
+		flipped[6] ^= 0xff
+		f.Add(flipped)
+		flipped = append([]byte(nil), valid...)
+		flipped[len(flipped)-2] ^= 0x01
+		f.Add(flipped)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("MTT1"))
-	truncated := append([]byte(nil), valid[:len(valid)/2]...)
-	f.Add(truncated)
-	flipped := append([]byte(nil), valid...)
-	flipped[6] ^= 0xff
-	f.Add(flipped)
+	f.Add([]byte("MTT2"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadFrom(bytes.NewReader(data))
 		if err != nil {
+			if got != nil {
+				t.Fatal("error return carried a partially-decoded trace")
+			}
 			return // rejection is fine; panics are not
 		}
-		// Anything accepted must be structurally sound enough to
-		// re-serialize and read back identically.
+		// Anything accepted must be a complete, internally consistent
+		// trace…
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted trace fails Validate: %v", err)
+		}
+		// …sound enough to re-serialize and read back identically.
 		var out bytes.Buffer
 		if _, err := got.WriteTo(&out); err != nil {
 			t.Fatalf("accepted trace failed to serialize: %v", err)
@@ -45,8 +64,8 @@ func FuzzReadFrom(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip of accepted trace failed: %v", err)
 		}
-		if back.TotalRefs() != got.TotalRefs() {
-			t.Fatalf("round trip changed ref count: %d != %d", back.TotalRefs(), got.TotalRefs())
+		if !traceEqual(got, back) {
+			t.Fatal("round trip of accepted trace changed it")
 		}
 	})
 }

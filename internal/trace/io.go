@@ -3,11 +3,14 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
 )
 
-// Binary trace format (all integers are unsigned varints unless noted):
+// Binary trace containers. Two variants share one per-event encoding (a
+// gap/kind uvarint followed by a zig-zag address-delta uvarint, so the
+// strided access patterns the kernels produce compress well):
+//
+// MTT1 (legacy, read-only):
 //
 //	magic   4 bytes  "MTT1"
 //	appLen  uvarint, app name bytes
@@ -15,16 +18,73 @@ import (
 //	per thread:
 //	    id      uvarint (must equal index)
 //	    nrefs   uvarint
-//	    per ref:
-//	        gapKind uvarint: gap<<1 | kind
-//	        addr    uvarint: zig-zag delta from previous address
+//	    nrefs × (gapKind uvarint, addr-delta uvarint)
 //
-// Address deltas compress the strided access patterns the kernels produce.
+// MTT1 has no framing or checksums: truncation at a thread boundary and
+// bit flips inside the varint payload can silently decode to a different
+// but structurally valid trace. MTT2 (io2.go) closes both holes and is
+// what WriteTo emits; ReadFrom accepts either.
 
-var magic = [4]byte{'M', 'T', 'T', '1'}
+var (
+	magic1 = [4]byte{'M', 'T', 'T', '1'}
+	magic2 = [4]byte{'M', 'T', 'T', '2'}
+)
 
-// WriteTo serializes the trace in the binary format.
+const (
+	formatMTT1 = "MTT1"
+	formatMTT2 = "MTT2"
+
+	// maxName and maxThreads bound header fields so a corrupt count
+	// cannot demand an absurd allocation.
+	maxName    = 1 << 12
+	maxThreads = 1 << 16
+)
+
+// countingReader is a buffered reader that tracks the stream offset
+// consumed, so decode errors can report where the damage was detected.
+type countingReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+// appendEvent appends one packed event in the shared per-event encoding,
+// returning the extended buffer and the event's address (the next delta
+// base).
+func appendEvent(buf []byte, w uint64, prev uint64) ([]byte, uint64) {
+	e := Unpack(w)
+	gk := uint64(e.Gap) << 1
+	if e.Kind == Write {
+		gk |= 1
+	}
+	buf = binary.AppendUvarint(buf, gk)
+	delta := int64(e.Addr) - int64(prev)
+	buf = binary.AppendUvarint(buf, uint64(delta<<1)^uint64(delta>>63))
+	return buf, e.Addr
+}
+
+// WriteTo serializes the trace in the current (MTT2) binary format.
 func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	return tr.writeMTT2To(w)
+}
+
+// writeMTT1To serializes the trace in the legacy MTT1 container. New files
+// are always MTT2; this writer exists so tests can prove ReadFrom's
+// backward compatibility against real MTT1 bytes.
+func (tr *Trace) writeMTT1To(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(p []byte) error {
@@ -37,7 +97,7 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 		return write(buf[:binary.PutUvarint(buf[:], v)])
 	}
 
-	if err := write(magic[:]); err != nil {
+	if err := write(magic1[:]); err != nil {
 		return n, err
 	}
 	if err := writeUvarint(uint64(len(tr.App))); err != nil {
@@ -49,6 +109,7 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := writeUvarint(uint64(len(tr.Threads))); err != nil {
 		return n, err
 	}
+	var scratch []byte
 	for i, t := range tr.Threads {
 		if err := writeUvarint(uint64(i)); err != nil {
 			return n, err
@@ -58,20 +119,10 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 		}
 		var prev uint64
 		for _, wrd := range t.events {
-			e := Unpack(wrd)
-			gk := uint64(e.Gap) << 1
-			if e.Kind == Write {
-				gk |= 1
-			}
-			if err := writeUvarint(gk); err != nil {
+			scratch, prev = appendEvent(scratch[:0], wrd, prev)
+			if err := write(scratch); err != nil {
 				return n, err
 			}
-			delta := int64(e.Addr) - int64(prev)
-			zz := uint64(delta<<1) ^ uint64(delta>>63)
-			if err := writeUvarint(zz); err != nil {
-				return n, err
-			}
-			prev = e.Addr
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -80,78 +131,109 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadFrom parses a trace in the binary format. It validates the header and
-// structural invariants and returns a descriptive error on corruption.
+// ReadFrom parses a trace in either binary container, dispatching on the
+// magic. Every decode failure — truncation, checksum mismatch, structural
+// damage — is reported as a *CorruptError carrying the byte offset;
+// callers test with errors.As instead of string matching.
 func ReadFrom(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{br: bufio.NewReader(r)}
 	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	if _, err := io.ReadFull(cr, m[:]); err != nil {
+		return nil, corruptRead("", cr.off, "magic", err)
 	}
-	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", m)
+	switch m {
+	case magic1:
+		return readMTT1(cr)
+	case magic2:
+		return readMTT2(cr)
+	default:
+		return nil, corruptf("", 0, "magic", "bad magic %q", m)
 	}
-	appLen, err := binary.ReadUvarint(br)
+}
+
+// readMTT1 decodes the legacy unchecksummed container (magic already
+// consumed).
+func readMTT1(cr *countingReader) (*Trace, error) {
+	appLen, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading app name length: %w", err)
+		return nil, corruptRead(formatMTT1, cr.off, "header", err)
 	}
-	const maxName = 1 << 12
 	if appLen == 0 || appLen > maxName {
-		return nil, fmt.Errorf("trace: implausible app name length %d", appLen)
+		return nil, corruptf(formatMTT1, cr.off, "header", "implausible app name length %d", appLen)
 	}
 	name := make([]byte, appLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading app name: %w", err)
+	if _, err := io.ReadFull(cr, name); err != nil {
+		return nil, corruptRead(formatMTT1, cr.off, "header", err)
 	}
-	nthreads, err := binary.ReadUvarint(br)
+	nthreads, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+		return nil, corruptRead(formatMTT1, cr.off, "header", err)
 	}
-	const maxThreads = 1 << 16
 	if nthreads == 0 || nthreads > maxThreads {
-		return nil, fmt.Errorf("trace: implausible thread count %d", nthreads)
+		return nil, corruptf(formatMTT1, cr.off, "header", "implausible thread count %d", nthreads)
 	}
 	tr := New(string(name), int(nthreads))
 	for i := 0; i < int(nthreads); i++ {
-		id, err := binary.ReadUvarint(br)
+		section := threadSection(i)
+		id, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trace: thread %d: reading id: %w", i, err)
+			return nil, corruptRead(formatMTT1, cr.off, section, err)
 		}
 		if id != uint64(i) {
-			return nil, fmt.Errorf("trace: thread %d has id %d", i, id)
+			return nil, corruptf(formatMTT1, cr.off, section, "thread at index %d has id %d", i, id)
 		}
-		nrefs, err := binary.ReadUvarint(br)
+		nrefs, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trace: thread %d: reading ref count: %w", i, err)
+			return nil, corruptRead(formatMTT1, cr.off, section, err)
+		}
+		if nrefs == 0 {
+			return nil, corruptf(formatMTT1, cr.off, section, "thread has no references")
 		}
 		t := tr.Threads[i]
-		t.events = make([]uint64, 0, nrefs)
+		// Cap the pre-allocation hint: MTT1 carries no framing to sanity-
+		// check nrefs against, so a corrupt count must not demand a huge
+		// slice before the first decode error can surface.
+		t.events = make([]uint64, 0, min(nrefs, 1<<16))
 		var prev uint64
 		for j := uint64(0); j < nrefs; j++ {
-			gk, err := binary.ReadUvarint(br)
+			gk, err := binary.ReadUvarint(cr)
 			if err != nil {
-				return nil, fmt.Errorf("trace: thread %d ref %d: reading gap: %w", i, j, err)
+				return nil, corruptRead(formatMTT1, cr.off, section, err)
 			}
-			gap := gk >> 1
-			if gap > uint64(MaxGap) {
-				return nil, fmt.Errorf("trace: thread %d ref %d: gap %d out of range", i, j, gap)
-			}
-			zz, err := binary.ReadUvarint(br)
+			zz, err := binary.ReadUvarint(cr)
 			if err != nil {
-				return nil, fmt.Errorf("trace: thread %d ref %d: reading addr: %w", i, j, err)
+				return nil, corruptRead(formatMTT1, cr.off, section, err)
 			}
-			delta := int64(zz>>1) ^ -int64(zz&1)
-			addr := uint64(int64(prev) + delta)
-			if addr > MaxAddr {
-				return nil, fmt.Errorf("trace: thread %d ref %d: address %#x out of range", i, j, addr)
+			w, cerr := decodeEvent(gk, zz, &prev)
+			if cerr != "" {
+				return nil, corruptf(formatMTT1, cr.off, section, "ref %d: %s", j, cerr)
 			}
-			prev = addr
-			k := Read
-			if gk&1 != 0 {
-				k = Write
-			}
-			t.append(Pack(Event{Gap: uint32(gap), Kind: k, Addr: addr}))
+			t.append(w)
 		}
 	}
 	return tr, nil
+}
+
+// decodeEvent validates and packs one event from its wire fields. It
+// returns a non-empty description on out-of-range values; prev is updated
+// to the decoded address.
+func decodeEvent(gk, zz uint64, prev *uint64) (uint64, string) {
+	gap := gk >> 1
+	if gap > uint64(MaxGap) {
+		return 0, "gap out of range"
+	}
+	delta := int64(zz>>1) ^ -int64(zz&1)
+	addr := uint64(int64(*prev) + delta)
+	if addr > MaxAddr {
+		return 0, "address out of range"
+	}
+	if addr%WordSize != 0 {
+		return 0, "address not word-aligned"
+	}
+	*prev = addr
+	k := Read
+	if gk&1 != 0 {
+		k = Write
+	}
+	return Pack(Event{Gap: uint32(gap), Kind: k, Addr: addr}), ""
 }

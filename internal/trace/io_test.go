@@ -2,7 +2,13 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -33,6 +39,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		if _, err := tr.WriteTo(&buf); err != nil {
 			t.Fatalf("write: %v", err)
 		}
+		if got := buf.Bytes()[:4]; !bytes.Equal(got, magic2[:]) {
+			t.Fatalf("WriteTo emitted magic %q, want MTT2", got)
+		}
 		got, err := ReadFrom(&buf)
 		if err != nil {
 			t.Fatalf("read: %v", err)
@@ -43,60 +52,242 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadRejectsBadMagic(t *testing.T) {
-	_, err := ReadFrom(strings.NewReader("NOPE-not-a-trace"))
-	if err == nil {
-		t.Fatal("bad magic accepted")
-	}
-}
-
-func TestReadRejectsTruncation(t *testing.T) {
-	tr := randomTrace(rand.New(rand.NewSource(2)), "app", 3, 200)
-	var buf bytes.Buffer
-	if _, err := tr.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	full := buf.Bytes()
-	// Truncate at a spread of points; every prefix must fail cleanly.
-	for _, frac := range []float64{0.1, 0.3, 0.5, 0.9, 0.99} {
-		n := int(float64(len(full)) * frac)
-		if _, err := ReadFrom(bytes.NewReader(full[:n])); err == nil {
-			t.Errorf("truncated at %d/%d bytes: accepted", n, len(full))
+// TestReadMTT1BackCompat proves ReadFrom still decodes the legacy
+// unchecksummed container byte stream.
+func TestReadMTT1BackCompat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		tr := randomTrace(rng, "legacy", 1+rng.Intn(4), 1+rng.Intn(300))
+		var buf bytes.Buffer
+		if _, err := tr.writeMTT1To(&buf); err != nil {
+			t.Fatalf("write MTT1: %v", err)
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("read MTT1: %v", err)
+		}
+		if !traceEqual(tr, got) {
+			t.Fatalf("trial %d: MTT1 round trip mismatch", trial)
 		}
 	}
 }
 
-func TestReadRejectsCorruption(t *testing.T) {
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := ReadFrom(strings.NewReader("NOPE-not-a-trace"))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bad magic: got %v, want *CorruptError", err)
+	}
+	if ce.Section != "magic" {
+		t.Errorf("section = %q, want magic", ce.Section)
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	for name, write := range map[string]func(*Trace, io.Writer) (int64, error){
+		"MTT2": (*Trace).WriteTo,
+		"MTT1": (*Trace).writeMTT1To,
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := randomTrace(rand.New(rand.NewSource(2)), "app", 3, 200)
+			var buf bytes.Buffer
+			if _, err := write(tr, &buf); err != nil {
+				t.Fatal(err)
+			}
+			full := buf.Bytes()
+			// Truncate at every single byte position: every strict prefix
+			// must fail cleanly, as a typed truncation error.
+			for n := 0; n < len(full); n++ {
+				_, err := ReadFrom(bytes.NewReader(full[:n]))
+				if err == nil {
+					t.Fatalf("truncated at %d/%d bytes: accepted", n, len(full))
+				}
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("truncated at %d: got %v, want *CorruptError", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestMTT2RejectsEveryByteFlip is the core zero-silent-corruption
+// property: under MTT2, flipping any single byte anywhere in the stream
+// is detected. (MTT1 cannot promise this — payload flips can decode to a
+// different but structurally valid trace.)
+func TestMTT2RejectsEveryByteFlip(t *testing.T) {
 	tr := randomTrace(rand.New(rand.NewSource(3)), "app", 2, 50)
 	var buf bytes.Buffer
 	if _, err := tr.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	rng := rand.New(rand.NewSource(4))
-	rejected := 0
-	const trials = 50
-	for i := 0; i < trials; i++ {
-		cp := append([]byte(nil), full...)
-		// Flip a byte somewhere in the header / counts region where
-		// corruption is detectable (payload bit flips can produce a
-		// different but structurally valid trace, which is fine).
-		cp[rng.Intn(12)] ^= 0xff
-		if _, err := ReadFrom(bytes.NewReader(cp)); err != nil {
-			rejected++
+	for i := range full {
+		for _, mask := range []byte{0x01, 0x80, 0xff} {
+			cp := append([]byte(nil), full...)
+			cp[i] ^= mask
+			got, err := ReadFrom(bytes.NewReader(cp))
+			if err == nil {
+				t.Fatalf("byte %d ^ %#x: corrupted stream accepted (decoded %d refs)",
+					i, mask, got.TotalRefs())
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("byte %d ^ %#x: got %v, want *CorruptError", i, mask, err)
+			}
 		}
 	}
-	if rejected == 0 {
-		t.Error("no header corruption was ever detected")
+}
+
+// TestMTT2ChecksumError checks that a payload flip surfaces as
+// ErrChecksum with a plausible offset.
+func TestMTT2ChecksumError(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(7)), "app", 2, 50)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one bit in the middle of the stream: deep inside a thread
+	// payload, so the CRC is what catches it.
+	cp := append([]byte(nil), full...)
+	cp[len(cp)/2] ^= 0x10
+	_, err := ReadFrom(bytes.NewReader(cp))
+	if err == nil {
+		t.Fatal("payload bit flip accepted")
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CorruptError", err)
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Errorf("cause = %v, want ErrChecksum", ce.Err)
+	}
+	if ce.Offset <= 0 || ce.Offset > int64(len(full)) {
+		t.Errorf("offset %d outside stream of %d bytes", ce.Offset, len(full))
+	}
+}
+
+// TestMTT2RejectsMissingEnd proves that dropping whole trailing sections
+// (clean truncation at a frame boundary) is still detected — the hole the
+// end section exists to close.
+func TestMTT2RejectsMissingEnd(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(8)), "app", 2, 30)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// The end section payload is 2 small uvarints: frame is 1 (kind) + 1
+	// (len) + 2 (payload) + 4 (crc) = 8 bytes.
+	chopped := full[:len(full)-8]
+	_, err := ReadFrom(bytes.NewReader(chopped))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("missing end section: got %v, want ErrTruncated", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Error("ErrTruncated should match io.ErrUnexpectedEOF via errors.Is")
+	}
+}
+
+// TestMTT2RejectsBadEndCounts crafts an end section whose CRC is valid
+// but whose totals disagree with the decoded stream.
+func TestMTT2RejectsBadEndCounts(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(9)), "app", 2, 30)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	body := full[:len(full)-8] // strip the genuine end frame
+	payload := binary.AppendUvarint(nil, uint64(len(tr.Threads)))
+	payload = binary.AppendUvarint(payload, uint64(tr.TotalRefs()+1)) // lie
+	frame := append([]byte{sectionEnd}, binary.AppendUvarint(nil, uint64(len(payload)))...)
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	_, err := ReadFrom(bytes.NewReader(append(body, frame...)))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("lying end section: got %v, want *CorruptError", err)
+	}
+	if ce.Section != "end" {
+		t.Errorf("section = %q, want end", ce.Section)
 	}
 }
 
 func TestReadRejectsImplausibleCounts(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write(magic[:])
+	buf.Write(magic1[:])
 	buf.WriteByte(0) // app name length 0
 	if _, err := ReadFrom(&buf); err == nil {
-		t.Error("empty app name accepted")
+		t.Error("MTT1: empty app name accepted")
+	}
+
+	// Same structural lie in an MTT2 header section with a valid CRC.
+	payload := []byte{0} // appLen 0
+	buf.Reset()
+	buf.Write(magic2[:])
+	buf.WriteByte(sectionHeader)
+	buf.Write(binary.AppendUvarint(nil, uint64(len(payload))))
+	buf.Write(payload)
+	buf.Write(binary.LittleEndian.AppendUint32(nil, crc32.ChecksumIEEE(payload)))
+	var ce *CorruptError
+	if _, err := ReadFrom(&buf); !errors.As(err, &ce) {
+		t.Errorf("MTT2: empty app name: got %v, want *CorruptError", err)
+	}
+
+	// An implausible section length must fail before any giant allocation.
+	buf.Reset()
+	buf.Write(magic2[:])
+	buf.WriteByte(sectionHeader)
+	buf.Write(binary.AppendUvarint(nil, uint64(maxSection)+1))
+	if _, err := ReadFrom(&buf); !errors.As(err, &ce) {
+		t.Errorf("MTT2: huge section length: got %v, want *CorruptError", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.mtt")
+	tr := randomTrace(rand.New(rand.NewSource(10)), "app", 2, 100)
+	if _, err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traceEqual(tr, got) {
+		t.Fatal("WriteFile/ReadFile round trip mismatch")
+	}
+
+	// Overwrite with a second trace: reads must see either old or new,
+	// and no temp files may linger.
+	tr2 := randomTrace(rand.New(rand.NewSource(12)), "app2", 3, 80)
+	if _, err := tr2.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traceEqual(tr2, got) {
+		t.Fatal("overwrite did not take effect")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".mtt-tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+
+	// A failed write (unwritable directory path) must not clobber the
+	// existing file.
+	if _, err := tr.WriteFile(filepath.Join(dir, "missing-subdir", "x.mtt")); err == nil {
+		t.Error("WriteFile into missing directory succeeded")
 	}
 }
 
