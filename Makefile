@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify lint bench benchsim fuzz golden faultcheck
+.PHONY: build test verify lint bench benchsim benchserve fuzz golden faultcheck servecheck
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,28 @@ test:
 lint:
 	$(GO) run ./cmd/mtlint ./...
 
-verify: faultcheck
+verify: faultcheck servecheck
 	$(GO) vet ./...
 	$(GO) run ./cmd/mtlint ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test -race ./...
+
+# Service tier (DESIGN.md §10): build mtserve, run the API's differential
+# / drain / backpressure tests plus the remote-sweep byte-identity test,
+# then a loadgen smoke — an in-process server under 16 concurrent
+# clients; it hard-fails on any error or any response diverging from the
+# direct library result, and asserts /healthz and /metrics coherence.
+servecheck:
+	$(GO) build -o /dev/null ./cmd/mtserve
+	$(GO) test ./internal/serve/... ./cmd/mtserve
+	$(GO) test ./cmd/experiments -run 'TestRemote'
+	$(GO) run ./cmd/mtserve -loadgen -clients 16 -rounds 2 >/dev/null
+
+# Regenerate BENCH_serve.json: service throughput/latency under the full
+# 64-client load with correctness gating.
+benchserve:
+	$(GO) run ./cmd/mtserve -loadgen -clients 64 -rounds 4 -bench BENCH_serve.json >/dev/null
 
 # Robustness drills (DESIGN.md §9): the fault-injection matrix (every
 # corruption class at every byte offset must be detected, never silently

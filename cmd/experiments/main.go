@@ -133,6 +133,12 @@ type sweepCfg struct {
 	maxSteps    uint64        // per-simulation event budget (0 = unbounded)
 	crossCheck  int           // cross-check every Nth cell on the reference engine (0 = off)
 
+	// remote, when set, sends every static-placement simulation to an
+	// mtserve instance at this base URL instead of running it in-process.
+	// Dynamic-scheduling cells and ad-hoc synthetic workloads (not in the
+	// server's catalog) still run locally.
+	remote string
+
 	// Plumbing (zero values mean stdout / quiet logger).
 	out io.Writer
 	log *slog.Logger
@@ -167,6 +173,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort all in-flight simulations after this long (e.g. 30m)")
 		maxSteps   = flag.Uint64("maxsteps", 0, "abort any single simulation after this many events (livelock watchdog)")
 		crossCheck = flag.Int("crosscheck", 0, "cross-check every Nth simulation against the reference engine (0 = off)")
+		remote     = flag.String("remote", "", "run simulations on the mtserve instance at this base URL (e.g. http://127.0.0.1:8080)")
 		bsim       = flag.String("benchsim", "", "benchmark the reference vs fast simulation engines and save the comparison as JSON")
 		timeline   = flag.String("timeline", "", "simulate one representative run and write its Perfetto timeline JSON to this file")
 		progress   = flag.Duration("progress", 0, "log a progress heartbeat at this interval (e.g. 10s) while sweeps run")
@@ -231,7 +238,8 @@ func main() {
 			scale: *scale, seed: *seed, procs: *procs, fig5app: *fig5, outdir: *outdir,
 			journalPath: *journal, resume: *resume,
 			timeout: *timeout, maxSteps: *maxSteps, crossCheck: *crossCheck,
-			log: log,
+			remote: *remote,
+			log:    log,
 		})
 	}
 	if err != nil {
@@ -300,6 +308,15 @@ func run(cfg sweepCfg) (degraded bool, err error) {
 	opts := core.DefaultOptions()
 	opts.Params = workload.Params{Scale: cfg.scale, Seed: cfg.seed}
 	opts.ProcCounts = pcs
+
+	if cfg.remote != "" && (cfg.crossCheck > 0 || cfg.maxSteps > 0 || cfg.timeout > 0) {
+		// The server owns its watchdogs and engine guard; layering the
+		// local ones on top would double-guard remote cells.
+		return false, obs.Usagef("-remote cannot be combined with -crosscheck, -maxsteps or -timeout (configure them on mtserve instead)")
+	}
+	if cfg.remote != "" {
+		opts.Runner = remoteRunner(cfg.remote, opts.Params)
+	}
 
 	var guard *resilience.EngineGuard
 	if cfg.crossCheck > 0 || cfg.maxSteps > 0 || cfg.timeout > 0 {

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// loadgenConfig parameterizes the self-benchmark.
+type loadgenConfig struct {
+	clients int
+	rounds  int
+	scale   float64
+	seed    int64
+	bench   string
+	opts    serve.Options
+}
+
+// loadCell is one named cell of the benchmark mix.
+type loadCell struct {
+	app   string
+	alg   string
+	procs int
+}
+
+// benchServeReport is the BENCH_serve.json schema: end-to-end service
+// throughput and latency under concurrent load, with correctness
+// (divergence against direct library calls) as a hard gate, plus the
+// cache's measured effectiveness.
+type benchServeReport struct {
+	Clients        int      `json:"clients"`
+	Rounds         int      `json:"rounds"`
+	UniqueCells    int      `json:"unique_cells"`
+	Requests       int      `json:"requests"`
+	Errors         int      `json:"errors"`
+	Divergent      int      `json:"divergent_results"`
+	Seconds        float64  `json:"seconds"`
+	RequestsPerSec float64  `json:"requests_per_sec"`
+	LatencyP50Ms   float64  `json:"latency_p50_ms"`
+	LatencyP90Ms   float64  `json:"latency_p90_ms"`
+	LatencyP99Ms   float64  `json:"latency_p99_ms"`
+	CacheHits      uint64   `json:"cache_hits"`
+	CacheMisses    uint64   `json:"cache_misses"`
+	CacheHitRate   float64  `json:"cache_hit_rate"`
+	SimRuns        int64    `json:"sim_runs"`
+	MaxInFlight    int      `json:"max_concurrent_clients"`
+	Scale          float64  `json:"scale"`
+	Seed           int64    `json:"seed"`
+	Apps           []string `json:"apps"`
+	GeneratedBy    string   `json:"generated_by"`
+}
+
+// loadgenCells is the benchmark mix: two applications across every
+// static placement algorithm at two machine sizes — enough distinct
+// cells that the first round is miss-heavy and later rounds are
+// cache-served.
+func loadgenCells() []loadCell {
+	apps := []string{"MP3D", "Gauss"}
+	var cells []loadCell
+	for _, app := range apps {
+		for _, alg := range core.AllAlgorithms() {
+			for _, procs := range []int{2, 4} {
+				cells = append(cells, loadCell{app: app, alg: alg, procs: procs})
+			}
+		}
+	}
+	return cells
+}
+
+// runLoadgen starts an in-process server on an ephemeral port, drives it
+// with cfg.clients concurrent clients for cfg.rounds passes over the
+// cell mix, verifies every response against the corresponding direct
+// library call, asserts /healthz and /metrics, and writes the report.
+// Any divergent result is a hard error: the service layer must add
+// transport, never arithmetic.
+func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
+	if cfg.clients < 1 {
+		return fmt.Errorf("loadgen: need at least one client, got %d", cfg.clients)
+	}
+	if cfg.rounds < 1 {
+		return fmt.Errorf("loadgen: need at least one round, got %d", cfg.rounds)
+	}
+	cells := loadgenCells()
+	params := serve.Params{Scale: cfg.scale, Seed: cfg.seed}
+
+	// Ground truth first: the same cells via the library, sharing one
+	// suite, so every response below has an exact expected value.
+	log.Info("loadgen: computing library ground truth", "cells", len(cells))
+	sopts := core.DefaultOptions()
+	sopts.Params = workload.Params{Scale: cfg.scale, Seed: cfg.seed}
+	suite := core.NewSuite(sopts)
+	want := make(map[loadCell]*sim.Result, len(cells))
+	for _, c := range cells {
+		res, err := suite.RunOne(c.app, c.alg, c.procs, false)
+		if err != nil {
+			return fmt.Errorf("loadgen ground truth %s/%s/%d: %w", c.app, c.alg, c.procs, err)
+		}
+		want[c] = res
+	}
+
+	// The queue must absorb every client's one in-flight request plus
+	// slack, so backpressure never deflates the concurrency measurement.
+	opts := cfg.opts
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 4 * cfg.clients
+	}
+	srv := serve.NewServer(opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Drain()
+	}()
+	log.Info("loadgen: server up", "url", ts.URL, "clients", cfg.clients, "rounds", cfg.rounds)
+
+	type sample struct {
+		latency   time.Duration
+		err       error
+		divergent bool
+	}
+	samples := make([][]sample, cfg.clients)
+
+	// Barrier start so all clients are genuinely concurrent, then each
+	// client walks the cell list rounds times from its own offset (so
+	// round 1 misses spread across distinct cells instead of convoying).
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	inFlight := struct {
+		sync.Mutex
+		cur, max int
+	}{}
+	for ci := 0; ci < cfg.clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl := client.New(ts.URL)
+			cl.MaxRetries = 64
+			cl.RetryWait = 10 * time.Millisecond
+			<-start
+			for r := 0; r < cfg.rounds; r++ {
+				for k := 0; k < len(cells); k++ {
+					c := cells[(ci+k)%len(cells)]
+					req := &serve.SimulateRequest{
+						Params:    &params,
+						App:       c.app,
+						Algorithm: c.alg,
+						Procs:     c.procs,
+					}
+					inFlight.Lock()
+					inFlight.cur++
+					if inFlight.cur > inFlight.max {
+						inFlight.max = inFlight.cur
+					}
+					inFlight.Unlock()
+					t0 := time.Now()
+					resp, err := cl.Simulate(req)
+					lat := time.Since(t0)
+					inFlight.Lock()
+					inFlight.cur--
+					inFlight.Unlock()
+					s := sample{latency: lat, err: err}
+					if err == nil && !reflect.DeepEqual(resp.Result, want[c]) {
+						s.divergent = true
+					}
+					samples[ci] = append(samples[ci], s)
+				}
+			}
+		}(ci)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	// Aggregate.
+	var lats []time.Duration
+	rep := benchServeReport{
+		Clients: cfg.clients, Rounds: cfg.rounds, UniqueCells: len(cells),
+		Scale: cfg.scale, Seed: cfg.seed,
+		Apps:        []string{"MP3D", "Gauss"},
+		Seconds:     elapsed.Seconds(),
+		MaxInFlight: inFlight.max,
+		GeneratedBy: "mtserve -loadgen",
+	}
+	for _, ss := range samples {
+		for _, s := range ss {
+			rep.Requests++
+			switch {
+			case s.err != nil:
+				rep.Errors++
+			case s.divergent:
+				rep.Divergent++
+			}
+			lats = append(lats, s.latency)
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms = pct(0.50), pct(0.90), pct(0.99)
+	if rep.Seconds > 0 {
+		rep.RequestsPerSec = float64(rep.Requests) / rep.Seconds
+	}
+	cs := srv.CacheStats()
+	rep.CacheHits, rep.CacheMisses, rep.CacheHitRate = cs.Hits, cs.Misses, cs.HitRate()
+	rep.SimRuns = srv.Metrics().Snapshot()["serve_sim_runs_total"]
+
+	// Built-in smoke assertions (this is what `make servecheck` runs):
+	// the endpoints must be coherent with the load just applied.
+	cl := client.New(ts.URL)
+	h, err := cl.Health()
+	if err != nil {
+		return fmt.Errorf("loadgen: /healthz: %w", err)
+	}
+	if h.Status != "ok" && h.Status != "degraded" {
+		return fmt.Errorf("loadgen: /healthz status %q after load", h.Status)
+	}
+	if h.Jobs.Accepted == 0 || h.Jobs.Completed == 0 {
+		return fmt.Errorf("loadgen: /healthz job accounting empty after %d requests: %+v", rep.Requests, h.Jobs)
+	}
+	metrics, err := cl.Metrics()
+	if err != nil {
+		return fmt.Errorf("loadgen: /metrics: %w", err)
+	}
+	for _, series := range []string{
+		"serve_http_requests_total", "serve_sim_runs_total",
+		"serve_cache_hits_total", "serve_jobs_completed_total",
+	} {
+		if !strings.Contains(metrics, series) {
+			return fmt.Errorf("loadgen: /metrics missing series %s", series)
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if cfg.bench != "" {
+		if err := os.WriteFile(cfg.bench, out, 0o644); err != nil {
+			return err
+		}
+	}
+	os.Stdout.Write(out)
+
+	log.Info("loadgen: done",
+		"requests", rep.Requests, "rps", fmt.Sprintf("%.1f", rep.RequestsPerSec),
+		"p50_ms", fmt.Sprintf("%.2f", rep.LatencyP50Ms),
+		"p99_ms", fmt.Sprintf("%.2f", rep.LatencyP99Ms),
+		"cache_hit_rate", fmt.Sprintf("%.3f", rep.CacheHitRate),
+		"max_in_flight", rep.MaxInFlight)
+
+	if rep.Errors > 0 {
+		return fmt.Errorf("loadgen: %d/%d requests failed", rep.Errors, rep.Requests)
+	}
+	if rep.Divergent > 0 {
+		return fmt.Errorf("loadgen: %d/%d responses diverged from direct library results", rep.Divergent, rep.Requests)
+	}
+	return nil
+}

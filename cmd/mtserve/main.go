@@ -1,0 +1,137 @@
+// Command mtserve is the simulation-as-a-service daemon: the paper's
+// simulator behind a JSON HTTP API with a bounded job queue, a worker
+// pool, a content-addressed result cache and an engine guard that keeps
+// the server answering (on the reference engine) if the fast engine is
+// ever caught diverging.
+//
+// Usage:
+//
+//	mtserve -addr :8080                      # serve until SIGTERM/SIGINT
+//	mtserve -addr :8080 -workers 8 -cache 8192
+//	mtserve -loadgen -clients 64 -bench BENCH_serve.json
+//
+// Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/jobs/{id},
+// GET /v1/placements, GET /healthz, GET /metrics.
+//
+// Shutdown is graceful: SIGTERM stops accepting work, in-flight cells
+// finish, queued jobs are handed back as retriable (their
+// content-addressed IDs make resubmission to a restarted server
+// idempotent), then the process exits — 0 healthy, 3 if the run was
+// degraded (fast engine benched).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mtserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "job queue depth (0 = default, fits one maximal sweep)")
+		cacheSize  = fs.Int("cache", 4096, "result cache capacity (entries)")
+		maxSteps   = fs.Uint64("maxsteps", 0, "per-cell simulation step budget (0 = unlimited)")
+		timeout    = fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = none)")
+		crossCheck = fs.Int("crosscheck", 16, "cross-check every Nth guarded run against the reference engine (0 = off)")
+		verbose    = fs.Bool("v", false, "verbose logging")
+
+		loadgen = fs.Bool("loadgen", false, "run the self-benchmark against an in-process server and exit")
+		clients = fs.Int("clients", 64, "loadgen: concurrent clients")
+		rounds  = fs.Int("rounds", 4, "loadgen: passes each client makes over the cell list")
+		scale   = fs.Float64("scale", 0.25, "loadgen: workload scale")
+		seed    = fs.Int64("seed", 1994, "loadgen: workload seed")
+		bench   = fs.String("bench", "", "loadgen: write the JSON report here (e.g. BENCH_serve.json)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return obs.CodeUsage
+	}
+	log := obs.NewLogger(os.Stderr, *verbose)
+
+	opts := serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		MaxSteps:       *maxSteps,
+		RequestTimeout: *timeout,
+		SampleEvery:    *crossCheck,
+		Log:            log,
+	}
+
+	if *loadgen {
+		cfg := loadgenConfig{
+			clients: *clients,
+			rounds:  *rounds,
+			scale:   *scale,
+			seed:    *seed,
+			bench:   *bench,
+			opts:    opts,
+		}
+		if err := runLoadgen(log, cfg); err != nil {
+			return obs.Fail(log, err, fs.Usage)
+		}
+		return obs.CodeOK
+	}
+
+	return serveMain(log, *addr, opts)
+}
+
+// serveMain runs the daemon until SIGTERM/SIGINT, then drains.
+func serveMain(log *slog.Logger, addr string, opts serve.Options) int {
+	srv := serve.NewServer(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Error(err.Error())
+		return obs.CodeError
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Info("mtserve listening", "addr", ln.Addr().String())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		log.Info("draining on signal", "signal", fmt.Sprint(sig))
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error(err.Error())
+			return obs.CodeError
+		}
+	}
+
+	// Drain order: finish simulation work first (queued jobs become
+	// retriable, /healthz flips to draining), then stop the listener so
+	// clients can observe their jobs' final state until the very end.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+
+	if srv.Guard().Degraded() {
+		log.Info("exiting degraded: fast engine was benched during this run")
+		return obs.CodeDegraded
+	}
+	log.Info("mtserve exited cleanly")
+	return obs.CodeOK
+}

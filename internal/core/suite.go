@@ -107,8 +107,12 @@ type simCell struct {
 	err  error
 }
 
-// placementKeyString encodes a placement exactly (collision-free).
-func placementKeyString(pl *placement.Placement) string {
+// PlacementKey encodes a placement exactly (collision-free): the
+// algorithm name plus every cluster's thread list. It is the Suite's own
+// memoization key for simulation cells, exported so other caches — the
+// serving layer's content-addressed result cache in particular — key on
+// the identical cell identity instead of reinventing a lossy one.
+func PlacementKey(pl *placement.Placement) string {
 	var b strings.Builder
 	b.WriteString(pl.Algorithm)
 	for _, cluster := range pl.Clusters {
@@ -301,7 +305,7 @@ func (s *Suite) runPlacement(app string, pl *placement.Placement, procs int, inf
 	if err != nil {
 		return nil, err
 	}
-	key := simKey{app: app, placement: placementKeyString(pl), cfg: cfg}
+	key := simKey{app: app, placement: PlacementKey(pl), cfg: cfg}
 	s.mu.Lock()
 	cell, ok := s.sims[key]
 	if !ok {

@@ -28,6 +28,10 @@ func TestDeterminismReportFixture(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "determinism/internal/report")
 }
 
+func TestDeterminismRescacheFixture(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "determinism/internal/serve/rescache")
+}
+
 // TestDeterminismOutOfScope runs the determinism analyzer over a package
 // outside its scope lists: wall clock, global rand and map-ordered output
 // are all someone else's problem there, so the fixture has no want

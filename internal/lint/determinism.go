@@ -11,8 +11,9 @@ import (
 // inputs produce bit-identical results and byte-identical reports.
 //
 // In the simulation packages (internal/sim, internal/workload,
-// internal/placement) it forbids wall-clock reads (time.Now) and the
-// process-global math/rand source (rand.Intn etc. — rand.New with an
+// internal/placement) and the serving result cache
+// (internal/serve/rescache) it forbids wall-clock reads (time.Now) and
+// the process-global math/rand source (rand.Intn etc. — rand.New with an
 // explicit rand.NewSource seed is the sanctioned idiom).
 //
 // In the presentation packages (internal/report, internal/analysis) it
@@ -29,8 +30,12 @@ var Determinism = &Analyzer{
 }
 
 // determinismTimeRandScope lists package-path suffixes where time.Now and
-// the global math/rand source are forbidden.
-var determinismTimeRandScope = []string{"internal/sim", "internal/workload", "internal/placement"}
+// the global math/rand source are forbidden. internal/serve/rescache is
+// here because cache keys and eviction order are part of mtserve's
+// reproducibility contract: a wall-clock LRU timestamp or a randomized
+// eviction tiebreak would make a server's cache state — and therefore
+// the Cached flag and hit-rate benchmarks — depend on when it ran.
+var determinismTimeRandScope = []string{"internal/sim", "internal/workload", "internal/placement", "internal/serve/rescache"}
 
 // determinismMapOrderScope lists package-path suffixes where map iteration
 // must not feed output or order-sensitive accumulation.

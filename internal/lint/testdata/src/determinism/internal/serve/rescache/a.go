@@ -1,0 +1,41 @@
+// Package rescache is the determinism fixture for the serving result
+// cache: its import path ends in internal/serve/rescache, which puts it
+// in the analyzer's time/rand scope. Cache keys and eviction order are
+// part of mtserve's reproducibility contract, so wall-clock timestamps
+// and global-source randomness are forbidden here just as in the
+// simulator proper.
+package rescache
+
+import (
+	"math/rand"
+	"time"
+)
+
+type entry struct {
+	key      string
+	lastUsed int64
+}
+
+// touch stamps an entry with the wall clock: forbidden — an LRU ordered
+// by real time makes eviction depend on when the server ran.
+func touch(e *entry) {
+	e.lastUsed = time.Now().UnixNano() // want `time\.Now is wall-clock`
+}
+
+// evictVictim picks a random victim from the global source: forbidden —
+// irreproducible cache state.
+func evictVictim(entries []entry) int {
+	return rand.Intn(len(entries)) // want `rand\.Intn uses a process-global random source`
+}
+
+// touchSeq is the sanctioned idiom: a logical use-counter, bumped per
+// access, orders the LRU without consulting the clock.
+func touchSeq(e *entry, seq *int64) {
+	*seq++
+	e.lastUsed = *seq
+}
+
+// jitterSeeded is fine: explicit seed, methods on the local generator.
+func jitterSeeded(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricSetRender: deterministic, sorted Prometheus text output.
+func TestMetricSetRender(t *testing.T) {
+	s := NewMetricSet()
+	reqs := s.Counter("serve_requests_total", "HTTP requests accepted")
+	depth := s.Gauge("serve_queue_depth", "tasks waiting in the queue")
+	reqs.Add(3)
+	depth.Set(7)
+
+	var b strings.Builder
+	if _, err := s.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP serve_queue_depth tasks waiting in the queue\n" +
+		"# TYPE serve_queue_depth gauge\n" +
+		"serve_queue_depth 7\n" +
+		"# HELP serve_requests_total HTTP requests accepted\n" +
+		"# TYPE serve_requests_total counter\n" +
+		"serve_requests_total 3\n"
+	if b.String() != want {
+		t.Errorf("render mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestMetricSetReRegister: same identity returns the same cell; a kind
+// clash panics.
+func TestMetricSetReRegister(t *testing.T) {
+	s := NewMetricSet()
+	a := s.Counter("x_total", "x")
+	if b := s.Counter("x_total", "x"); a != b {
+		t.Fatal("re-registering identical metric returned a new cell")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	s.Gauge("x_total", "x")
+}
+
+// TestMetricConcurrent: counters under contention count exactly; run
+// under -race this is the data-race proof.
+func TestMetricConcurrent(t *testing.T) {
+	s := NewMetricSet()
+	m := s.Counter("c_total", "c")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if snap := s.Snapshot(); snap["c_total"] != 8000 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}

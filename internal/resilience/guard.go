@@ -97,6 +97,16 @@ func (g *EngineGuard) Stats() (runs, crossChecks uint64) {
 // Run simulates one cell through the guard. It matches sim.Run's
 // signature, so core.Suite can adopt it as its Runner unchanged.
 func (g *EngineGuard) Run(tr *trace.Trace, pl *placement.Placement, cfg sim.Config) (*sim.Result, error) {
+	return g.RunCell(tr, pl, cfg, nil, g.Guard)
+}
+
+// RunCell is Run with a per-call probe and watchdog: the serving layer
+// gives every HTTP request its own cancellation flag and step budget
+// while all requests share one guard (and therefore one degraded/benched
+// state). The probe attaches to the authoritative run — the fast engine
+// while healthy, the reference engine once benched — never to the sampled
+// cross-check run, so probe counts always describe the result returned.
+func (g *EngineGuard) RunCell(tr *trace.Trace, pl *placement.Placement, cfg sim.Config, probe obs.Probe, guard sim.Guard) (*sim.Result, error) {
 	g.mu.Lock()
 	g.runs++
 	run := g.runs
@@ -108,16 +118,16 @@ func (g *EngineGuard) Run(tr *trace.Trace, pl *placement.Placement, cfg sim.Conf
 	g.mu.Unlock()
 
 	if degraded {
-		return sim.RunGuarded(tr, pl, cfg, sim.ReferenceEngine, nil, g.Guard)
+		return sim.RunGuarded(tr, pl, cfg, sim.ReferenceEngine, probe, guard)
 	}
-	fast, err := sim.RunGuarded(tr, pl, cfg, sim.FastEngine, nil, g.Guard)
+	fast, err := sim.RunGuarded(tr, pl, cfg, sim.FastEngine, probe, guard)
 	if err != nil {
 		return nil, err
 	}
 	if !check {
 		return fast, nil
 	}
-	ref, err := sim.RunGuarded(tr, pl, cfg, sim.ReferenceEngine, nil, g.Guard)
+	ref, err := sim.RunGuarded(tr, pl, cfg, sim.ReferenceEngine, nil, guard)
 	if err != nil {
 		return nil, err
 	}

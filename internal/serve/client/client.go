@@ -1,0 +1,244 @@
+// Package client is the Go client for mtserve's JSON API. It is what
+// cmd/experiments -remote and mtserve -loadgen speak; the types are
+// shared with the server (package serve), so a decoded result is the
+// same sim.Result the library would have returned — deep-equality
+// between remote and local runs is a test invariant, not an
+// approximation.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Client talks to one mtserve instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retries of retriable rejections (429 queue-full,
+	// 503 draining). Default 0: fail fast; sweeps that want patience set
+	// it explicitly.
+	MaxRetries int
+	// RetryWait is the base wait between retries when the server sends no
+	// Retry-After hint (default 250ms).
+	RetryWait time.Duration
+}
+
+// New returns a client for the given base URL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx reply, decoded.
+type APIError struct {
+	Status    int
+	Message   string
+	Retriable bool
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mtserve: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsRetriable reports whether err is an APIError the server marked
+// retriable (queue full, draining).
+func IsRetriable(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Retriable
+}
+
+// post sends one JSON request and decodes the 2xx reply into out,
+// retrying retriable rejections up to MaxRetries times.
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.roundTrip(http.MethodPost, path, body, out)
+		if err == nil || !IsRetriable(err) || attempt >= c.MaxRetries {
+			return err
+		}
+		time.Sleep(c.retryDelay(err))
+	}
+}
+
+func (c *Client) get(path string, out any) error {
+	return c.roundTrip(http.MethodGet, path, nil, out)
+}
+
+// retryDelay is the wait between retriable rejections.
+func (c *Client) retryDelay(error) time.Duration {
+	if c.RetryWait > 0 {
+		return c.RetryWait
+	}
+	return 250 * time.Millisecond
+}
+
+func (c *Client) roundTrip(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var er serve.ErrorResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err != nil || er.Error == "" {
+			er.Error = resp.Status
+		}
+		return &APIError{Status: resp.StatusCode, Message: er.Error, Retriable: er.Retriable}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Simulate runs one cell synchronously.
+func (c *Client) Simulate(req *serve.SimulateRequest) (*serve.SimulateResponse, error) {
+	var out serve.SimulateResponse
+	if err := c.post("/v1/simulate", req, &out); err != nil {
+		return nil, err
+	}
+	if out.Result == nil {
+		return nil, errors.New("mtserve: simulate reply without a result")
+	}
+	return &out, nil
+}
+
+// Sweep submits an asynchronous sweep.
+func (c *Client) Sweep(req *serve.SweepRequest) (*serve.SweepAccepted, error) {
+	var out serve.SweepAccepted
+	if err := c.post("/v1/sweep", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(id string) (*serve.JobStatus, error) {
+	var out serve.JobStatus
+	if err := c.get("/v1/jobs/"+id, &out); err != nil {
+		// A drained (retriable) job answers 503 but still carries the
+		// status body; surface it as a status, not an error.
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable {
+			return &serve.JobStatus{Job: id, Status: serve.StatusRetriable}, nil
+		}
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it reaches a terminal status or the timeout
+// elapses (0 = wait forever).
+func (c *Client) WaitJob(id string, poll, timeout time.Duration) (*serve.JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case serve.StatusDone, serve.StatusFailed, serve.StatusRetriable, serve.StatusCanceled:
+			return st, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, fmt.Errorf("mtserve: job %s still %s after %s", id, st.Status, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// Health fetches /healthz (valid on both 200 and 503-draining replies).
+func (c *Client) Health() (*serve.HealthResponse, error) {
+	var out serve.HealthResponse
+	err := c.get("/healthz", &out)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable {
+			out.Status = "draining"
+			return &out, nil
+		}
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Placements fetches the server's catalog.
+func (c *Client) Placements() (*serve.PlacementsResponse, error) {
+	var out serve.PlacementsResponse
+	if err := c.get("/v1/placements", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("mtserve: /metrics HTTP %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return string(b), err
+}
+
+// SimulateCell is the convenience the remote runner uses: it ships an
+// explicit placement and full config (so COHERENCE placements and
+// ablation configs survive the wire exactly) and returns the bare
+// result.
+func (c *Client) SimulateCell(params serve.Params, app string, placementAlg string, clusters [][]int, cfg sim.Config, engine string) (*sim.Result, error) {
+	spec := serve.ConfigSpecOf(cfg)
+	resp, err := c.Simulate(&serve.SimulateRequest{
+		Params:    &params,
+		App:       app,
+		Placement: &serve.PlacementSpec{Algorithm: placementAlg, Clusters: clusters},
+		Config:    &spec,
+		Engine:    engine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest drives the strict JSON decoder + validator with
+// arbitrary bodies. The invariant is total robustness: any input either
+// yields a request that passed Validate, or a plain error — never a
+// panic, and never unbounded allocation (the decoder caps bodies at
+// MaxRequestBytes and validation caps every numeric and list field, so a
+// hostile body cannot make the server stage gigabytes of work).
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		// Valid simulate bodies.
+		`{"app":"MP3D","algorithm":"LATENCY","procs":4}`,
+		`{"app":"Gauss","algorithm":"IDEAL","procs":2,"infinite":true,"engine":"reference","counters":true}`,
+		`{"params":{"scale":0.25,"seed":1994},"app":"Water","algorithm":"RANDOM","procs":8}`,
+		`{"app":"MP3D","placement":{"algorithm":"CUSTOM","clusters":[[0,1],[2,3]]},"procs":4}`,
+		`{"app":"MP3D","algorithm":"LATENCY","config":{"processors":4,"max_contexts":2,"protocol":"update"}}`,
+		// Valid sweep bodies (also fed to the sweep decoder below).
+		`{"apps":["MP3D","Gauss"],"algorithms":["LATENCY","IDEAL"],"procs":[2,4]}`,
+		`{"apps":["FFT"],"algorithms":["RANDOM"],"procs":[2],"infinite":true,"engine":"fast"}`,
+		// Invalid shapes the decoder must reject gracefully.
+		``,
+		`null`,
+		`{}`,
+		`[]`,
+		`{"app":"MP3D"`,
+		`{"app":"MP3D","algorithm":"LATENCY","procs":4}{"trailing":true}`,
+		`{"unknown_field":1}`,
+		`{"app":"NoSuchApp","algorithm":"LATENCY","procs":4}`,
+		`{"app":"MP3D","algorithm":"LATENCY","procs":-1}`,
+		`{"app":"MP3D","algorithm":"LATENCY","procs":1e9}`,
+		`{"params":{"scale":-1},"app":"MP3D","algorithm":"LATENCY","procs":4}`,
+		`{"app":"MP3D","placement":{"algorithm":"X","clusters":[[99999]]},"procs":4}`,
+		`{"app":"MP3D","algorithm":"LATENCY","procs":4,"config":{"processors":99999}}`,
+		`{"apps":[],"algorithms":["LATENCY"],"procs":[2]}`,
+		`{"app":"` + strings.Repeat("A", 4096) + `","algorithm":"LATENCY","procs":4}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		if req, err := DecodeSimulateRequest(strings.NewReader(body)); err == nil {
+			// A decoded request must be internally coherent: re-running
+			// Validate is a no-op, and its identity fields are bounded.
+			if verr := req.Validate(); verr != nil {
+				t.Fatalf("decoded request fails its own Validate: %v", verr)
+			}
+			if len(req.App) > MaxNameLen || req.Procs > MaxProcs {
+				t.Fatalf("validated request exceeds bounds: app=%d procs=%d", len(req.App), req.Procs)
+			}
+		}
+		if req, err := DecodeSweepRequest(strings.NewReader(body)); err == nil {
+			if verr := req.Validate(); verr != nil {
+				t.Fatalf("decoded sweep fails its own Validate: %v", verr)
+			}
+			if req.Cells() > MaxSweepCells {
+				t.Fatalf("validated sweep stages %d cells", req.Cells())
+			}
+		}
+	})
+}

@@ -1,0 +1,596 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/resilience"
+	"repro/internal/serve/rescache"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the task queue (default 4 * Workers * 32); a full
+	// queue answers 429.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache (default
+	// 4096 results).
+	CacheEntries int
+	// MaxSteps is the per-cell simulation step budget (0 = unlimited).
+	MaxSteps uint64
+	// RequestTimeout cancels a cell's simulation wall-clock-wise
+	// (0 = no timeout). Enforced via the job's cancel flag, which the
+	// simulator polls, so a stuck cell aborts with a BudgetError.
+	RequestTimeout time.Duration
+	// SampleEvery cross-checks every Nth guarded run against the
+	// reference engine (default 16; 0 disables cross-checking).
+	SampleEvery int
+	// Log receives operational messages; nil discards them.
+	Log *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		// Default: a single maximal sweep must be acceptable when idle
+		// (the all-or-nothing push would otherwise always refuse it).
+		// An explicit smaller depth is honored — tests and memory-tight
+		// deployments trade sweep size for footprint.
+		o.QueueDepth = o.Workers * 128
+		if o.QueueDepth < MaxSweepCells {
+			o.QueueDepth = MaxSweepCells
+		}
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.SampleEvery < 0 {
+		o.SampleEvery = 0
+	}
+	return o
+}
+
+// suiteEntry is one cached core.Suite, keyed by workload params. The
+// server uses suites only to resolve cells — traces, sharing data,
+// placements, per-app configs — never Suite.RunOne, so a suite's memory
+// stays bounded by the workload, not by the request history (results
+// live in the server's own LRU instead).
+type suiteEntry struct {
+	params Params
+	suite  *core.Suite
+	used   uint64 // LRU tick
+}
+
+// maxSuites bounds distinct workload-param sets kept resident.
+const maxSuites = 4
+
+// flight deduplicates concurrent misses on the same cell key: the first
+// worker simulates, later workers wait and share the result.
+type flight struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// serverMetrics is every /metrics series, registered once at startup so
+// the exposition is complete (all series present, zero-valued) from the
+// first scrape.
+type serverMetrics struct {
+	set *obs.MetricSet
+
+	requests      *obs.Metric
+	resp2xx       *obs.Metric
+	resp4xx       *obs.Metric
+	resp5xx       *obs.Metric
+	rejectedFull  *obs.Metric
+	cacheHits     *obs.Metric
+	cacheMisses   *obs.Metric
+	cacheEvicts   *obs.Metric
+	simRuns       *obs.Metric
+	simFailures   *obs.Metric
+	jobsAccepted  *obs.Metric
+	jobsCompleted *obs.Metric
+	jobsFailed    *obs.Metric
+	jobsRetriable *obs.Metric
+	jobsCanceled  *obs.Metric
+	sfShared      *obs.Metric
+	queueDepth    *obs.Metric
+	inFlight      *obs.Metric
+	workers       *obs.Metric
+	degraded      *obs.Metric
+}
+
+func newServerMetrics() *serverMetrics {
+	s := obs.NewMetricSet()
+	return &serverMetrics{
+		set:           s,
+		requests:      s.Counter("serve_http_requests_total", "HTTP requests received"),
+		resp2xx:       s.Counter("serve_http_responses_2xx_total", "HTTP responses with 2xx status"),
+		resp4xx:       s.Counter("serve_http_responses_4xx_total", "HTTP responses with 4xx status"),
+		resp5xx:       s.Counter("serve_http_responses_5xx_total", "HTTP responses with 5xx status"),
+		rejectedFull:  s.Counter("serve_rejected_queue_full_total", "requests refused with 429 because the queue was full"),
+		cacheHits:     s.Counter("serve_cache_hits_total", "result cache hits"),
+		cacheMisses:   s.Counter("serve_cache_misses_total", "result cache misses"),
+		cacheEvicts:   s.Counter("serve_cache_evictions_total", "result cache evictions"),
+		simRuns:       s.Counter("serve_sim_runs_total", "simulations executed (cache misses actually run)"),
+		simFailures:   s.Counter("serve_sim_failures_total", "simulations that returned an error"),
+		jobsAccepted:  s.Counter("serve_jobs_accepted_total", "jobs accepted into the queue"),
+		jobsCompleted: s.Counter("serve_jobs_completed_total", "jobs finished successfully"),
+		jobsFailed:    s.Counter("serve_jobs_failed_total", "jobs finished with an error"),
+		jobsRetriable: s.Counter("serve_jobs_retriable_total", "jobs drained before completion (resubmit after restart)"),
+		jobsCanceled:  s.Counter("serve_jobs_canceled_total", "jobs canceled by their client"),
+		sfShared:      s.Counter("serve_singleflight_shared_total", "cell computations shared between concurrent identical requests"),
+		queueDepth:    s.Gauge("serve_queue_depth", "tasks waiting in the queue"),
+		inFlight:      s.Gauge("serve_inflight_cells", "cells currently simulating"),
+		workers:       s.Gauge("serve_workers", "worker pool size"),
+		degraded:      s.Gauge("serve_degraded", "1 once the fast engine is benched"),
+	}
+}
+
+// Server is the simulation service: a worker pool draining a bounded
+// queue of cells, backed by a content-addressed result cache and an
+// engine guard. Create with NewServer, serve via Handler, stop with
+// Drain.
+type Server struct {
+	opts    Options
+	queue   *taskQueue
+	cache   *rescache.Cache
+	guard   *resilience.EngineGuard
+	jobs    *jobRegistry
+	metrics *serverMetrics
+
+	mu       sync.Mutex
+	suites   []*suiteEntry
+	suiteUse uint64
+	flights  map[rescache.Key]*flight
+	inFlight int
+	draining bool
+
+	wg sync.WaitGroup
+
+	// Test hooks, nil in production. When set, every cell execution first
+	// sends its cell key on cellStarted, then blocks until cellGate is
+	// closed or receives — letting the drain test freeze a worker
+	// mid-cell deterministically.
+	cellStarted chan string
+	cellGate    chan struct{}
+}
+
+// NewServer builds a Server and starts its workers.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		queue:   newTaskQueue(opts.QueueDepth),
+		cache:   rescache.New(opts.CacheEntries),
+		jobs:    newJobRegistry(),
+		metrics: newServerMetrics(),
+		flights: make(map[rescache.Key]*flight),
+	}
+	s.guard = &resilience.EngineGuard{
+		SampleEvery: opts.SampleEvery,
+		OnFallback: func(rep resilience.DivergenceReport) {
+			s.metrics.degraded.Set(1)
+			if opts.Log != nil {
+				opts.Log.Warn("fast engine benched", "divergence", rep.String())
+			}
+		},
+	}
+	if s.guard.SampleEvery == 0 && opts.SampleEvery == 0 {
+		s.guard.SampleEvery = 16
+	}
+	s.metrics.workers.Set(int64(opts.Workers))
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Guard exposes the server's engine guard (for health reporting and
+// tests).
+func (s *Server) Guard() *resilience.EngineGuard { return s.guard }
+
+// Metrics exposes the server's metric registry.
+func (s *Server) Metrics() *obs.MetricSet { return s.metrics.set }
+
+// CacheStats returns the result cache counters.
+func (s *Server) CacheStats() rescache.Stats { return s.cache.Stats() }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain refuses new work, lets in-flight cells finish, marks queued
+// cells' jobs retriable, and waits for the workers to exit. An accepted
+// job is never lost: it ends done, failed, canceled — or retriable, and
+// a retriable job's content-addressed ID resubmitted to a restarted
+// server rebuilds the identical results.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	rest := s.queue.Close()
+	// Count drained cells per job, then finalize each job once.
+	drained := make(map[*job]int)
+	for _, t := range rest {
+		drained[t.j]++
+	}
+	for j, n := range drained {
+		j.markRetriable(n)
+		s.metrics.jobsRetriable.Inc()
+		if s.opts.Log != nil {
+			s.opts.Log.Info("drain: job marked retriable", "job", j.id, "cells_not_run", n)
+		}
+	}
+	s.metrics.queueDepth.Set(0)
+	s.wg.Wait()
+}
+
+// suiteFor returns the (cached) suite for these params.
+func (s *Server) suiteFor(p Params) *core.Suite {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.suiteUse++
+	for _, e := range s.suites {
+		if e.params == p {
+			e.used = s.suiteUse
+			return e.suite
+		}
+	}
+	opts := core.DefaultOptions()
+	opts.Params = workload.Params{Scale: p.Scale, Seed: p.Seed}
+	e := &suiteEntry{params: p, suite: core.NewSuite(opts), used: s.suiteUse}
+	if len(s.suites) >= maxSuites {
+		oldest := 0
+		for i, se := range s.suites {
+			if se.used < s.suites[oldest].used {
+				oldest = i
+			}
+		}
+		s.suites[oldest] = s.suites[len(s.suites)-1]
+		s.suites = s.suites[:len(s.suites)-1]
+	}
+	s.suites = append(s.suites, e)
+	return e.suite
+}
+
+// resolveParams fills nil request params with the library defaults.
+func resolveParams(p *Params) Params {
+	if p != nil {
+		return *p
+	}
+	d := workload.DefaultParams()
+	return Params{Scale: d.Scale, Seed: d.Seed}
+}
+
+// normalizeEngine maps "" to the default engine label.
+func normalizeEngine(e string) string {
+	if e == "" {
+		return EngineGuarded
+	}
+	return e
+}
+
+// errServerDraining is returned for work refused because of shutdown.
+var errServerDraining = errors.New("server is draining")
+
+// enqueue pushes a job's cells onto the queue atomically (all or none).
+func (s *Server) enqueue(j *job) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errServerDraining
+	}
+	s.mu.Unlock()
+
+	ts := make([]task, len(j.cells))
+	for i := range j.cells {
+		ts[i] = task{j: j, cell: i}
+	}
+	if !s.queue.TryPushAll(ts) {
+		s.metrics.rejectedFull.Inc()
+		if s.Draining() {
+			return errServerDraining
+		}
+		return errQueueFull
+	}
+	s.metrics.jobsAccepted.Inc()
+	s.metrics.queueDepth.Set(int64(s.queue.Depth()))
+	return nil
+}
+
+// submitSweep registers a sweep job by its content-addressed ID and
+// enqueues its cells. An identical sweep already known (live or kept
+// terminal) is returned as-is with existing=true — resubmission is a
+// lookup, which is exactly what a drained client does after a restart.
+func (s *Server) submitSweep(j *job) (reg *job, existing bool, err error) {
+	reg, existing = s.jobs.add(j)
+	if existing {
+		// A previously drained job is resubmittable: forget the stale
+		// record and queue the fresh one.
+		reg.mu.Lock()
+		retriable := reg.status == StatusRetriable
+		reg.mu.Unlock()
+		if !retriable {
+			return reg, true, nil
+		}
+		s.jobs.remove(reg.id)
+		reg, existing = s.jobs.add(j)
+		if existing {
+			return reg, true, nil
+		}
+	}
+	if err := s.enqueue(j); err != nil {
+		s.jobs.remove(j.id)
+		return nil, false, err
+	}
+	return j, false, nil
+}
+
+// errQueueFull is the backpressure signal behind HTTP 429.
+var errQueueFull = errors.New("job queue is full")
+
+// worker drains the queue until it closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		t, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.metrics.queueDepth.Set(int64(s.queue.Depth()))
+		s.runTask(t)
+	}
+}
+
+// runTask executes one cell of one job and records the outcome; the last
+// cell finalizes the job and its metrics.
+func (s *Server) runTask(t task) {
+	t.j.start()
+	s.mu.Lock()
+	s.inFlight++
+	s.metrics.inFlight.Set(int64(s.inFlight))
+	s.mu.Unlock()
+
+	r := s.runCell(t.j, t.j.cells[t.cell])
+
+	s.mu.Lock()
+	s.inFlight--
+	s.metrics.inFlight.Set(int64(s.inFlight))
+	s.mu.Unlock()
+
+	if t.j.finishCell(t.cell, r) {
+		st := t.j.snapshot()
+		switch st.Status {
+		case StatusDone:
+			s.metrics.jobsCompleted.Inc()
+		case StatusCanceled:
+			s.metrics.jobsCanceled.Inc()
+		case StatusFailed:
+			s.metrics.jobsFailed.Inc()
+		}
+	}
+}
+
+// resolveCell turns a cellSpec into the concrete (trace, placement,
+// config) triple, reusing the suite's derivations so the served cell is
+// identical to the library cell.
+func (s *Server) resolveCell(params Params, c cellSpec) (*trace.Trace, *placement.Placement, sim.Config, error) {
+	suite := s.suiteFor(params)
+	tr, err := suite.Trace(c.app)
+	if err != nil {
+		return nil, nil, sim.Config{}, err
+	}
+	var pl *placement.Placement
+	if c.explicitPlacement != nil {
+		pl = &placement.Placement{
+			Algorithm: c.explicitPlacement.Algorithm,
+			Clusters:  c.explicitPlacement.Clusters,
+		}
+	} else {
+		pl, err = suite.Place(c.app, c.algorithm, c.procs)
+		if err != nil {
+			return nil, nil, sim.Config{}, err
+		}
+	}
+	var cfg sim.Config
+	if c.explicitConfig != nil {
+		cfg = *c.explicitConfig
+	} else {
+		cfg, err = suite.Config(c.app, c.procs, c.infinite)
+		if err != nil {
+			return nil, nil, sim.Config{}, err
+		}
+	}
+	return tr, pl, cfg, nil
+}
+
+// runCell executes one cell: cache lookup, single-flight dedup, guarded
+// simulation, cache fill.
+func (s *Server) runCell(j *job, c cellSpec) cellResultInternal {
+	tr, pl, cfg, err := s.resolveCell(j.params, c)
+	if err != nil {
+		return cellResultInternal{err: err}
+	}
+	key := rescache.KeyOf(j.params.Scale, j.params.Seed, c.app, core.PlacementKey(pl), cfg, c.engine)
+	keyHex := key.String()
+
+	if s.cellStarted != nil {
+		s.cellStarted <- keyHex
+		<-s.cellGate
+	}
+
+	// The cache counts hits/misses/evictions authoritatively; /metrics
+	// mirrors its counters at scrape time.
+	if res := s.cache.Get(key); res != nil {
+		return cellResultInternal{key: keyHex, cached: true, res: res}
+	}
+
+	// Single-flight: concurrent identical misses share one simulation.
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.metrics.sfShared.Inc()
+		<-f.done
+		if f.err != nil {
+			return cellResultInternal{key: keyHex, err: f.err}
+		}
+		return cellResultInternal{key: keyHex, res: f.res}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	res, counters, err := s.simulate(j, c, tr, pl, cfg)
+
+	f.res, f.err = res, err
+	close(f.done)
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+
+	if err != nil {
+		s.metrics.simFailures.Inc()
+		return cellResultInternal{key: keyHex, err: err}
+	}
+	s.cache.Put(key, res)
+	return cellResultInternal{key: keyHex, res: res, counters: counters}
+}
+
+// simulate runs the cell on its engine under the job's guard.
+func (s *Server) simulate(j *job, c cellSpec, tr *trace.Trace, pl *placement.Placement, cfg sim.Config) (*sim.Result, *obs.Counter, error) {
+	guard := sim.Guard{MaxSteps: s.opts.MaxSteps, Cancel: &j.cancel}
+	var timer *time.Timer
+	if s.opts.RequestTimeout > 0 {
+		timer = time.AfterFunc(s.opts.RequestTimeout, func() { j.cancel.Store(true) })
+	}
+	var probe obs.Probe
+	var counters *obs.Counter
+	if c.counters {
+		counters = &obs.Counter{}
+		probe = counters
+	}
+
+	s.metrics.simRuns.Inc()
+	var res *sim.Result
+	var err error
+	switch c.engine {
+	case EngineFast:
+		res, err = sim.RunGuarded(tr, pl, cfg, sim.FastEngine, probe, guard)
+	case EngineReference:
+		res, err = sim.RunGuarded(tr, pl, cfg, sim.ReferenceEngine, probe, guard)
+	default: // EngineGuarded
+		res, err = s.guard.RunCell(tr, pl, cfg, probe, guard)
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, counters, nil
+}
+
+// Health assembles the /healthz view.
+func (s *Server) Health() HealthResponse {
+	s.mu.Lock()
+	draining := s.draining
+	inFlight := s.inFlight
+	s.mu.Unlock()
+
+	cs := s.cache.Stats()
+	h := HealthResponse{
+		Status:        "ok",
+		Workers:       s.opts.Workers,
+		QueueDepth:    s.queue.Depth(),
+		QueueCapacity: s.opts.QueueDepth,
+		InFlight:      inFlight,
+		Degraded:      s.guard.Degraded(),
+		Cache: CacheHealth{
+			Entries: cs.Entries, Capacity: cs.Capacity,
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			HitRate: cs.HitRate(),
+		},
+		Jobs: JobsHealth{
+			Accepted:  s.metrics.jobsAccepted.Value(),
+			Completed: s.metrics.jobsCompleted.Value(),
+			Failed:    s.metrics.jobsFailed.Value(),
+			Retriable: s.metrics.jobsRetriable.Value(),
+			Canceled:  s.metrics.jobsCanceled.Value(),
+		},
+	}
+	if h.Degraded {
+		h.Status = "degraded"
+		if rep := s.guard.Report(); rep != nil {
+			h.Divergence = rep.String()
+		}
+	}
+	if draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// sweepJobID derives the content-addressed ID of a sweep: the same sweep
+// (params, dimensions, engine) always maps to the same ID, on this
+// server or a restarted one — a drained client simply resubmits.
+func sweepJobID(params Params, req *SweepRequest, engine string) string {
+	parts := make([]string, 0, 5+len(req.Apps)+len(req.Algorithms)+len(req.Procs))
+	parts = append(parts,
+		fmt.Sprintf("scale=%g", params.Scale),
+		fmt.Sprintf("seed=%d", params.Seed),
+		fmt.Sprintf("infinite=%t", req.Infinite),
+		fmt.Sprintf("engine=%s", engine),
+	)
+	parts = append(parts, "apps")
+	parts = append(parts, req.Apps...)
+	parts = append(parts, "algs")
+	parts = append(parts, req.Algorithms...)
+	parts = append(parts, "procs")
+	for _, p := range req.Procs {
+		parts = append(parts, fmt.Sprintf("%d", p))
+	}
+	sum := rescache.SumStrings("mtserve-sweep-v1", parts...)
+	return "sw-" + sum.String()[:16]
+}
+
+// sweepCells expands a sweep request into its deterministic cell order
+// (apps outermost, procs innermost).
+func sweepCells(req *SweepRequest, engine string) []cellSpec {
+	cells := make([]cellSpec, 0, req.Cells())
+	for _, app := range req.Apps {
+		for _, alg := range req.Algorithms {
+			for _, p := range req.Procs {
+				cells = append(cells, cellSpec{
+					app: app, algorithm: alg, procs: p,
+					infinite: req.Infinite, engine: engine,
+				})
+			}
+		}
+	}
+	return cells
+}
