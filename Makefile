@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify lint bench benchsim benchserve fuzz golden faultcheck servecheck
+.PHONY: build test verify lint bench benchsim benchserve benchcluster fuzz golden faultcheck servecheck clustercheck
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,12 @@ test:
 lint:
 	$(GO) run ./cmd/mtlint ./...
 
-verify: faultcheck servecheck
+verify: faultcheck servecheck clustercheck
 	$(GO) vet ./...
 	$(GO) run ./cmd/mtlint ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Service tier (DESIGN.md §10): build mtserve, run the API's differential
 # / drain / backpressure tests plus the remote-sweep byte-identity test,
@@ -40,6 +40,22 @@ servecheck:
 # 64-client load with correctness gating.
 benchserve:
 	$(GO) run ./cmd/mtserve -loadgen -clients 64 -rounds 4 -bench BENCH_serve.json >/dev/null
+
+# Cluster tier (DESIGN.md §11): build mtcoord, run the coordinator's
+# differential suite (cluster sweep vs direct library, both engines),
+# the chaos matrix (kill / partition / restart a worker mid-sweep with
+# zero lost or duplicated cells), the shard-key goldens, and the
+# experiments-level artifact byte-identity test against a coordinator
+# with four workers including a kill-one-worker pass.
+clustercheck:
+	$(GO) build -o /dev/null ./cmd/mtcoord
+	$(GO) test ./internal/cluster ./internal/loadgen
+	$(GO) test ./cmd/experiments -run 'TestClusterSweepArtifactsMatchLocal'
+
+# Regenerate BENCH_cluster.json: 1->4 worker scaling of the coordinator
+# pipeline with byte-identity gating (hard-fails under 3x at 4 workers).
+benchcluster:
+	$(GO) run ./cmd/mtcoord -bench BENCH_cluster.json -bench-workers 4 >/dev/null
 
 # Robustness drills (DESIGN.md §9): the fault-injection matrix (every
 # corruption class at every byte offset must be detected, never silently

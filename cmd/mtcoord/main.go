@@ -1,0 +1,133 @@
+// Command mtcoord is the cluster coordinator: it serves mtserve's public
+// JSON API (POST /v1/simulate, POST /v1/sweep, GET /v1/jobs/{id},
+// GET /v1/placements, GET /healthz, GET /metrics) but executes the work
+// across N registered mtserve workers. Cells are routed by rescache
+// content address (rendezvous hashing for cache affinity), granted as
+// leases, harvested incrementally, stolen back from stragglers for idle
+// workers, and requeued when a worker dies — every rebalancing is
+// byte-identical by construction because the simulator is deterministic.
+//
+// Usage:
+//
+//	mtcoord -addr :9090                       # coordinate until SIGTERM
+//	mtcoord -addr :9090 -journal mtcoord.mtj  # with crash recovery
+//	mtcoord -bench BENCH_cluster.json         # in-process scaling bench
+//
+// Workers join with `mtserve -coord http://coordinator:9090`; membership
+// is registration plus heartbeats (/cluster/v1/register, /cluster/v1/
+// heartbeat), and heartbeat silence past -heartbeat-timeout requeues the
+// silent worker's in-flight cells elsewhere.
+//
+// Shutdown is graceful and mirrors mtserve: in-flight sweeps are handed
+// back as retriable; their content-addressed job IDs make resubmission
+// to a restarted coordinator idempotent.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mtcoord", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:9090", "listen address")
+		hbeat   = fs.Duration("heartbeat-timeout", 2*time.Second, "declare a worker dead after this much heartbeat silence")
+		poll    = fs.Duration("poll", 10*time.Millisecond, "lease harvest/steal scheduling interval")
+		chunk   = fs.Int("chunk", 16, "max cells per lease")
+		journal = fs.String("journal", "", "MTJ1 journal path for crash recovery (empty = off)")
+		verbose = fs.Bool("v", false, "verbose logging")
+
+		bench        = fs.String("bench", "", "run the in-process cluster scaling benchmark, write the JSON report here, and exit")
+		benchWorkers = fs.Int("bench-workers", 4, "bench: maximum worker count (measures 1..max in doubling steps)")
+		scale        = fs.Float64("scale", 0.25, "bench: workload scale")
+		seed         = fs.Int64("seed", 1994, "bench: workload seed")
+		minCell      = fs.Duration("mincell", 250*time.Millisecond, "bench: per-cell service-time floor modeling full-scale cells")
+	)
+	if err := fs.Parse(args); err != nil {
+		return obs.CodeUsage
+	}
+	log := obs.NewLogger(os.Stderr, *verbose)
+
+	opts := cluster.Options{
+		HeartbeatTimeout: *hbeat,
+		PollInterval:     *poll,
+		LeaseChunk:       *chunk,
+		Journal:          *journal,
+		Log:              log,
+	}
+
+	if *bench != "" {
+		cfg := benchConfig{
+			maxWorkers: *benchWorkers,
+			scale:      *scale,
+			seed:       *seed,
+			minCell:    *minCell,
+			out:        *bench,
+		}
+		if err := runBench(log, cfg); err != nil {
+			return obs.Fail(log, err, fs.Usage)
+		}
+		return obs.CodeOK
+	}
+
+	return coordMain(log, *addr, opts)
+}
+
+// coordMain runs the coordinator daemon until SIGTERM/SIGINT, then drains.
+func coordMain(log *slog.Logger, addr string, opts cluster.Options) int {
+	coord, err := cluster.New(opts)
+	if err != nil {
+		log.Error(err.Error())
+		return obs.CodeError
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Error(err.Error())
+		return obs.CodeError
+	}
+	hs := &http.Server{Handler: coord.Handler()}
+	log.Info("mtcoord listening", "addr", ln.Addr().String())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		log.Info("draining on signal", "signal", fmt.Sprint(sig))
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error(err.Error())
+			return obs.CodeError
+		}
+	}
+
+	// Drain order mirrors mtserve: retire in-flight jobs first (pollers
+	// see retriable and will resubmit after restart), then stop listening.
+	coord.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+
+	log.Info("mtcoord exited cleanly")
+	return obs.CodeOK
+}

@@ -1,22 +1,18 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http/httptest"
 	"os"
 	"reflect"
-	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/loadgen"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // loadgenConfig parameterizes the self-benchmark.
@@ -27,13 +23,6 @@ type loadgenConfig struct {
 	seed    int64
 	bench   string
 	opts    serve.Options
-}
-
-// loadCell is one named cell of the benchmark mix.
-type loadCell struct {
-	app   string
-	alg   string
-	procs int
 }
 
 // benchServeReport is the BENCH_serve.json schema: end-to-end service
@@ -63,29 +52,14 @@ type benchServeReport struct {
 	GeneratedBy    string   `json:"generated_by"`
 }
 
-// loadgenCells is the benchmark mix: two applications across every
-// static placement algorithm at two machine sizes — enough distinct
-// cells that the first round is miss-heavy and later rounds are
-// cache-served.
-func loadgenCells() []loadCell {
-	apps := []string{"MP3D", "Gauss"}
-	var cells []loadCell
-	for _, app := range apps {
-		for _, alg := range core.AllAlgorithms() {
-			for _, procs := range []int{2, 4} {
-				cells = append(cells, loadCell{app: app, alg: alg, procs: procs})
-			}
-		}
-	}
-	return cells
-}
-
 // runLoadgen starts an in-process server on an ephemeral port, drives it
 // with cfg.clients concurrent clients for cfg.rounds passes over the
 // cell mix, verifies every response against the corresponding direct
 // library call, asserts /healthz and /metrics, and writes the report.
 // Any divergent result is a hard error: the service layer must add
-// transport, never arithmetic.
+// transport, never arithmetic. The mix, ground truth, concurrency driver
+// and aggregation are the shared internal/loadgen core the cluster
+// benchmark (mtcoord -bench) uses too.
 func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 	if cfg.clients < 1 {
 		return fmt.Errorf("loadgen: need at least one client, got %d", cfg.clients)
@@ -93,22 +67,13 @@ func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 	if cfg.rounds < 1 {
 		return fmt.Errorf("loadgen: need at least one round, got %d", cfg.rounds)
 	}
-	cells := loadgenCells()
+	cells := loadgen.DefaultMix()
 	params := serve.Params{Scale: cfg.scale, Seed: cfg.seed}
 
-	// Ground truth first: the same cells via the library, sharing one
-	// suite, so every response below has an exact expected value.
 	log.Info("loadgen: computing library ground truth", "cells", len(cells))
-	sopts := core.DefaultOptions()
-	sopts.Params = workload.Params{Scale: cfg.scale, Seed: cfg.seed}
-	suite := core.NewSuite(sopts)
-	want := make(map[loadCell]*sim.Result, len(cells))
-	for _, c := range cells {
-		res, err := suite.RunOne(c.app, c.alg, c.procs, false)
-		if err != nil {
-			return fmt.Errorf("loadgen ground truth %s/%s/%d: %w", c.app, c.alg, c.procs, err)
-		}
-		want[c] = res
+	want, err := loadgen.GroundTruth(cfg.scale, cfg.seed, cells)
+	if err != nil {
+		return fmt.Errorf("loadgen %w", err)
 	}
 
 	// The queue must absorb every client's one in-flight request plus
@@ -125,96 +90,58 @@ func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 	}()
 	log.Info("loadgen: server up", "url", ts.URL, "clients", cfg.clients, "rounds", cfg.rounds)
 
-	type sample struct {
-		latency   time.Duration
-		err       error
-		divergent bool
-	}
-	samples := make([][]sample, cfg.clients)
-
-	// Barrier start so all clients are genuinely concurrent, then each
-	// client walks the cell list rounds times from its own offset (so
-	// round 1 misses spread across distinct cells instead of convoying).
-	var wg sync.WaitGroup
-	start := make(chan struct{})
-	inFlight := struct {
-		sync.Mutex
-		cur, max int
-	}{}
-	for ci := 0; ci < cfg.clients; ci++ {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			cl := client.New(ts.URL)
-			cl.MaxRetries = 64
-			cl.RetryWait = 10 * time.Millisecond
-			<-start
-			for r := 0; r < cfg.rounds; r++ {
-				for k := 0; k < len(cells); k++ {
-					c := cells[(ci+k)%len(cells)]
-					req := &serve.SimulateRequest{
-						Params:    &params,
-						App:       c.app,
-						Algorithm: c.alg,
-						Procs:     c.procs,
-					}
-					inFlight.Lock()
-					inFlight.cur++
-					if inFlight.cur > inFlight.max {
-						inFlight.max = inFlight.cur
-					}
-					inFlight.Unlock()
-					t0 := time.Now()
-					resp, err := cl.Simulate(req)
-					lat := time.Since(t0)
-					inFlight.Lock()
-					inFlight.cur--
-					inFlight.Unlock()
-					s := sample{latency: lat, err: err}
-					if err == nil && !reflect.DeepEqual(resp.Result, want[c]) {
-						s.divergent = true
-					}
-					samples[ci] = append(samples[ci], s)
+	var (
+		lats      loadgen.Latencies
+		inFlight  loadgen.InFlight
+		requests  atomic.Int64
+		errCount  atomic.Int64
+		divergent atomic.Int64
+	)
+	// Each client walks the cell list rounds times from its own offset,
+	// so round-1 misses spread across distinct cells instead of convoying.
+	elapsed := loadgen.Concurrent(cfg.clients, func(ci int) {
+		cl := client.New(ts.URL)
+		cl.MaxRetries = 64
+		cl.RetryWait = 10 * time.Millisecond
+		for r := 0; r < cfg.rounds; r++ {
+			for k := 0; k < len(cells); k++ {
+				c := cells[(ci+k)%len(cells)]
+				req := &serve.SimulateRequest{
+					Params:    &params,
+					App:       c.App,
+					Algorithm: c.Alg,
+					Procs:     c.Procs,
+				}
+				inFlight.Enter()
+				t0 := time.Now()
+				resp, err := cl.Simulate(req)
+				lats.Add(time.Since(t0))
+				inFlight.Leave()
+				requests.Add(1)
+				switch {
+				case err != nil:
+					errCount.Add(1)
+				case !reflect.DeepEqual(resp.Result, want[c]):
+					divergent.Add(1)
 				}
 			}
-		}(ci)
-	}
-	t0 := time.Now()
-	close(start)
-	wg.Wait()
-	elapsed := time.Since(t0)
+		}
+	})
 
-	// Aggregate.
-	var lats []time.Duration
 	rep := benchServeReport{
 		Clients: cfg.clients, Rounds: cfg.rounds, UniqueCells: len(cells),
 		Scale: cfg.scale, Seed: cfg.seed,
-		Apps:        []string{"MP3D", "Gauss"},
+		Apps:        loadgen.Apps(cells),
 		Seconds:     elapsed.Seconds(),
-		MaxInFlight: inFlight.max,
+		Requests:    int(requests.Load()),
+		Errors:      int(errCount.Load()),
+		Divergent:   int(divergent.Load()),
+		MaxInFlight: inFlight.Max(),
 		GeneratedBy: "mtserve -loadgen",
 	}
-	for _, ss := range samples {
-		for _, s := range ss {
-			rep.Requests++
-			switch {
-			case s.err != nil:
-				rep.Errors++
-			case s.divergent:
-				rep.Divergent++
-			}
-			lats = append(lats, s.latency)
-		}
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lats)-1))
-		return float64(lats[i]) / float64(time.Millisecond)
-	}
-	rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms = pct(0.50), pct(0.90), pct(0.99)
+	rep.LatencyP50Ms = lats.PercentileMs(0.50)
+	rep.LatencyP90Ms = lats.PercentileMs(0.90)
+	rep.LatencyP99Ms = lats.PercentileMs(0.99)
 	if rep.Seconds > 0 {
 		rep.RequestsPerSec = float64(rep.Requests) / rep.Seconds
 	}
@@ -248,17 +175,9 @@ func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 		}
 	}
 
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := loadgen.WriteReport(os.Stdout, cfg.bench, rep); err != nil {
 		return err
 	}
-	out = append(out, '\n')
-	if cfg.bench != "" {
-		if err := os.WriteFile(cfg.bench, out, 0o644); err != nil {
-			return err
-		}
-	}
-	os.Stdout.Write(out)
 
 	log.Info("loadgen: done",
 		"requests", rep.Requests, "rps", fmt.Sprintf("%.1f", rep.RequestsPerSec),

@@ -33,9 +33,25 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
+
+// sanitizeWorkerID maps a listen address into the worker-ID alphabet
+// ([A-Za-z0-9._-]): colons and any other byte become '-'.
+func sanitizeWorkerID(addr string) string {
+	b := []byte(addr)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -52,6 +68,11 @@ func run(args []string) int {
 		timeout    = fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = none)")
 		crossCheck = fs.Int("crosscheck", 16, "cross-check every Nth guarded run against the reference engine (0 = off)")
 		verbose    = fs.Bool("v", false, "verbose logging")
+
+		coord     = fs.String("coord", "", "coordinator base URL to join as a cluster worker (e.g. http://127.0.0.1:9090)")
+		name      = fs.String("name", "", "cluster worker ID (default derived from the listen address)")
+		advertise = fs.String("advertise", "", "base URL the coordinator should reach this worker at (default http://<listen addr>)")
+		beat      = fs.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat interval")
 
 		loadgen = fs.Bool("loadgen", false, "run the self-benchmark against an in-process server and exit")
 		clients = fs.Int("clients", 64, "loadgen: concurrent clients")
@@ -90,11 +111,20 @@ func run(args []string) int {
 		return obs.CodeOK
 	}
 
-	return serveMain(log, *addr, opts)
+	cc := coordConfig{url: *coord, name: *name, advertise: *advertise, interval: *beat}
+	return serveMain(log, *addr, opts, cc)
+}
+
+// coordConfig is the optional cluster membership of a worker.
+type coordConfig struct {
+	url       string
+	name      string
+	advertise string
+	interval  time.Duration
 }
 
 // serveMain runs the daemon until SIGTERM/SIGINT, then drains.
-func serveMain(log *slog.Logger, addr string, opts serve.Options) int {
+func serveMain(log *slog.Logger, addr string, opts serve.Options, cc coordConfig) int {
 	srv := serve.NewServer(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -103,6 +133,22 @@ func serveMain(log *slog.Logger, addr string, opts serve.Options) int {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	log.Info("mtserve listening", "addr", ln.Addr().String())
+
+	// Joining a cluster: the agent registers and heartbeats until drain;
+	// all scheduling intelligence stays on the coordinator.
+	var agent *cluster.Agent
+	if cc.url != "" {
+		id := cc.name
+		if id == "" {
+			id = "worker-" + sanitizeWorkerID(ln.Addr().String())
+		}
+		self := cc.advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		agent = cluster.StartAgent(cc.url, id, self, cc.interval, log)
+		log.Info("joined cluster", "coordinator", cc.url, "worker", id, "advertise", self)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -120,9 +166,13 @@ func serveMain(log *slog.Logger, addr string, opts serve.Options) int {
 		}
 	}
 
-	// Drain order: finish simulation work first (queued jobs become
-	// retriable, /healthz flips to draining), then stop the listener so
-	// clients can observe their jobs' final state until the very end.
+	// Drain order: stop heartbeating first (the coordinator reroutes new
+	// leases), finish simulation work (queued jobs become retriable,
+	// /healthz flips to draining), then stop the listener so clients can
+	// observe their jobs' final state until the very end.
+	if agent != nil {
+		agent.Stop()
+	}
 	srv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -32,6 +32,10 @@ func TestDeterminismRescacheFixture(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "determinism/internal/serve/rescache")
 }
 
+func TestDeterminismClusterFixture(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "determinism/internal/cluster")
+}
+
 // TestDeterminismOutOfScope runs the determinism analyzer over a package
 // outside its scope lists: wall clock, global rand and map-ordered output
 // are all someone else's problem there, so the fixture has no want

@@ -1,0 +1,63 @@
+// Package cluster is the determinism fixture for the coordinator scope:
+// the worker registry and job tables live in maps, and anything a peer
+// or operator can observe — grant batches, metrics lines, membership
+// lists — must not leak Go's randomized map iteration order. The import
+// path ends in internal/cluster, which puts it in scope.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type worker struct {
+	id      string
+	pending int
+}
+
+// metricsDump prints per-worker series in map iteration order: two
+// scrapes of the same coordinator would disagree on line order.
+func metricsDump(w io.Writer, workers map[string]*worker) {
+	for id, wk := range workers { // want `range over map workers feeds output through Fprintf in map iteration order`
+		fmt.Fprintf(w, "coordinator_worker_pending_cells_%s %d\n", id, wk.pending)
+	}
+}
+
+// liveUnsorted leaks registry order into the membership snapshot that
+// rendezvous routing and error messages consume.
+func liveUnsorted(workers map[string]*worker) []string {
+	var ids []string
+	for id := range workers { // want `range over map workers appends to ids in map iteration order without a later sort`
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// liveSorted is the sanctioned idiom: collect, then sort, then use.
+func liveSorted(workers map[string]*worker) []string {
+	var ids []string
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// queueDepth tallies an integer across the registry: commutative, allowed.
+func queueDepth(workers map[string]*worker) int {
+	var total int
+	for _, wk := range workers {
+		total += wk.pending
+	}
+	return total
+}
+
+// grantShare accumulates floats in registry order: not associative.
+func grantShare(load map[string]float64) float64 {
+	var sum float64
+	for _, l := range load { // want `range over map load accumulates floating-point values`
+		sum += l
+	}
+	return sum
+}

@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestMixOrderDeterministic: Mix must enumerate apps x algs x procs in
+// exactly the nested order a sweep's results come back in — the
+// benchmarks index ground truth by cell, so order is part of the
+// contract.
+func TestMixOrderDeterministic(t *testing.T) {
+	got := Mix([]string{"A", "B"}, []string{"x", "y"}, []int{1, 2})
+	want := []Cell{
+		{"A", "x", 1}, {"A", "x", 2}, {"A", "y", 1}, {"A", "y", 2},
+		{"B", "x", 1}, {"B", "x", 2}, {"B", "y", 1}, {"B", "y", 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Mix order changed:\n  got  %v\n  want %v", got, want)
+	}
+}
+
+// TestDefaultAndClusterMixes: the two standard mixes stay well-formed —
+// every algorithm real, every app distinct, sizes as documented.
+func TestDefaultAndClusterMixes(t *testing.T) {
+	if got, want := len(DefaultMix()), 2*len(core.AllAlgorithms())*2; got != want {
+		t.Errorf("DefaultMix has %d cells, want %d", got, want)
+	}
+	if got := len(ClusterMix()); got != 24 {
+		t.Errorf("ClusterMix has %d cells, want 24", got)
+	}
+	// The cluster mix exists to keep per-cell CPU flat: only the two
+	// placement algorithms with no candidate ranking are allowed in it.
+	for _, c := range ClusterMix() {
+		if c.Alg != "LOAD-BAL" && c.Alg != "RANDOM" {
+			t.Errorf("ClusterMix contains ranking algorithm %s", c.Alg)
+		}
+	}
+	apps := Apps(ClusterMix())
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a] {
+			t.Errorf("Apps returned %s twice", a)
+		}
+		seen[a] = true
+	}
+	if apps[0] != "MP3D" {
+		t.Errorf("Apps order not first-seen: got %v", apps)
+	}
+}
+
+// TestGroundTruthDeterministic: two independent GroundTruth calls agree
+// bit for bit — this is the root of every differential assertion the
+// benchmarks make, so it has to hold before anything else means much.
+func TestGroundTruthDeterministic(t *testing.T) {
+	cells := Mix([]string{"MP3D"}, []string{"LOAD-BAL", "RANDOM"}, []int{2})
+	a, err := GroundTruth(0.1, 7, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GroundTruth(0.1, 7, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if a[c] == nil {
+			t.Fatalf("no result for %v", c)
+		}
+		if !reflect.DeepEqual(a[c], b[c]) {
+			t.Errorf("cell %v not deterministic across runs", c)
+		}
+	}
+}
+
+// TestConcurrentBarrier: all n clients observe the barrier — none runs
+// before release, all run exactly once, and InFlight sees real overlap.
+func TestConcurrentBarrier(t *testing.T) {
+	const n = 8
+	var (
+		mu    sync.Mutex
+		calls = map[int]int{}
+		fl    InFlight
+	)
+	block := make(chan struct{})
+	var once sync.Once
+	Concurrent(n, func(client int) {
+		fl.Enter()
+		defer fl.Leave()
+		mu.Lock()
+		calls[client]++
+		ready := len(calls) == n
+		mu.Unlock()
+		if ready {
+			once.Do(func() { close(block) })
+		}
+		// Hold until every client has entered, forcing full overlap.
+		<-block
+	})
+	if len(calls) != n {
+		t.Fatalf("%d distinct clients ran, want %d", len(calls), n)
+	}
+	for id, c := range calls {
+		if c != 1 {
+			t.Errorf("client %d ran %d times", id, c)
+		}
+	}
+	if fl.Max() != n {
+		t.Errorf("in-flight high water %d, want %d", fl.Max(), n)
+	}
+}
+
+// TestLatenciesPercentiles pins the nearest-rank definition the reports
+// have always used.
+func TestLatenciesPercentiles(t *testing.T) {
+	var l Latencies
+	if l.PercentileMs(0.5) != 0 {
+		t.Error("empty Latencies must report 0")
+	}
+	// 1..10 ms, added out of order: percentile must sort internally.
+	for _, ms := range []int{7, 1, 10, 3, 9, 2, 8, 4, 6, 5} {
+		l.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if l.Count() != 10 {
+		t.Fatalf("count %d, want 10", l.Count())
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 5}, {0.9, 9}, {0.99, 9}, {1, 10},
+	}
+	for _, c := range cases {
+		if got := l.PercentileMs(c.p); got != c.want {
+			t.Errorf("p%.2f = %gms, want %gms", c.p, got, c.want)
+		}
+	}
+}
+
+// TestWriteReport: the report lands both on disk and on the echo writer,
+// as indented JSON round-trippable to the same values.
+func TestWriteReport(t *testing.T) {
+	type rep struct {
+		Cells   int     `json:"cells"`
+		Speedup float64 `json:"speedup"`
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	var echo bytes.Buffer
+	if err := WriteReport(&echo, path, rep{Cells: 24, Speedup: 3.4}); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, echo.Bytes()) {
+		t.Error("file and echoed report differ")
+	}
+	var back rep
+	if err := json.Unmarshal(onDisk, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cells != 24 || back.Speedup != 3.4 {
+		t.Errorf("round-trip %+v", back)
+	}
+	// Empty path: echo only, no file write.
+	echo.Reset()
+	if err := WriteReport(&echo, "", rep{Cells: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if echo.Len() == 0 {
+		t.Error("nothing echoed with empty path")
+	}
+}

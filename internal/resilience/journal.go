@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -171,6 +172,22 @@ func (j *Journal) Done(key string) (string, bool) {
 
 // Len returns the number of completed records (excluding the binding).
 func (j *Journal) Len() int { return len(j.done) - 1 }
+
+// Each calls fn for every completed record (excluding the binding) in
+// sorted key order — the deterministic iteration a replaying consumer
+// (e.g. the cluster coordinator's crash recovery) wants.
+func (j *Journal) Each(fn func(key, value string)) {
+	keys := make([]string, 0, len(j.done))
+	for k := range j.done {
+		if k != bindingKey {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(k, j.done[k])
+	}
+}
 
 // Record marks key complete with the given value (typically a content
 // checksum of the section's output) and syncs before returning: once

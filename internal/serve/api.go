@@ -277,7 +277,11 @@ type JobsHealth struct {
 type HealthResponse struct {
 	// Status is "ok", "degraded" (fast engine benched, still answering)
 	// or "draining" (shutdown in progress, new work refused).
-	Status        string      `json:"status"`
+	Status string `json:"status"`
+	// Role distinguishes a worker daemon from a cluster coordinator
+	// serving the same API; mtserve leaves it empty (a bare worker),
+	// mtcoord reports "coordinator".
+	Role          string      `json:"role,omitempty"`
 	Workers       int         `json:"workers"`
 	QueueDepth    int         `json:"queue_depth"`
 	QueueCapacity int         `json:"queue_capacity"`

@@ -224,6 +224,35 @@ func (c *Client) Metrics() (string, error) {
 	return string(b), err
 }
 
+// Lease grants (or idempotently re-acknowledges) a lease on a worker.
+// This is the cluster-internal protocol a coordinator speaks; ordinary
+// clients never call it.
+func (c *Client) Lease(req *serve.LeaseRequest) (*serve.LeaseStatus, error) {
+	var out serve.LeaseStatus
+	if err := c.post("/internal/v1/lease", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// LeaseStatus polls a lease's per-cell states and results.
+func (c *Client) LeaseStatus(id string) (*serve.LeaseStatus, error) {
+	var out serve.LeaseStatus
+	if err := c.get("/internal/v1/lease/"+id, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Steal reclaims up to max not-yet-started cells from a lease.
+func (c *Client) Steal(id string, max int) (*serve.StealResponse, error) {
+	var out serve.StealResponse
+	if err := c.post("/internal/v1/lease/"+id+"/steal", &serve.StealRequest{Max: max}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // SimulateCell is the convenience the remote runner uses: it ships an
 // explicit placement and full config (so COHERENCE placements and
 // ablation configs survive the wire exactly) and returns the bare

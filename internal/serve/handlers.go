@@ -20,6 +20,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/placements", s.handlePlacements)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Cluster-internal lease protocol (see lease.go); a bare worker
+	// serves these too — they are harmless without a coordinator.
+	mux.HandleFunc("POST /internal/v1/lease", s.handleLeaseGrant)
+	mux.HandleFunc("GET /internal/v1/lease/{id}", s.handleLeaseStatus)
+	mux.HandleFunc("POST /internal/v1/lease/{id}/steal", s.handleLeaseSteal)
 	return s.instrument(mux)
 }
 
@@ -165,7 +170,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	engine := normalizeEngine(req.Engine)
 	params := resolveParams(req.Params)
-	j := newJob(sweepJobID(params, req, engine), params, sweepCells(req, engine))
+	j := newJob(SweepJobID(params, req, engine), params, sweepCells(req, engine))
 
 	reg, existing, err := s.submitSweep(j)
 	if err != nil {

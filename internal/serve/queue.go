@@ -115,9 +115,35 @@ func (q *taskQueue) Close() []task {
 	return rest
 }
 
-// job tracks one accepted request — a sweep, or a single synchronous
-// cell modeled as a one-cell job so every simulation flows through the
-// same queue, accounting and drain path.
+// Per-cell lifecycle states. A cell is pending until a worker picks it
+// up, then running, then done or failed. Stolen and drained are the two
+// ways a cell leaves a job without running: a steal hands it back to the
+// coordinator that leased it, a drain hands the whole job back to the
+// client as retriable. Either way the cell never produces a result here
+// and is safe to re-run elsewhere (simulations are deterministic and
+// idempotent).
+const (
+	cellPending uint8 = iota
+	cellRunning
+	cellDone
+	cellFailed
+	cellStolen
+	cellDrained
+)
+
+// cellStateNames maps cell states to their wire labels (LeaseStatus).
+var cellStateNames = [...]string{
+	cellPending: "pending",
+	cellRunning: "running",
+	cellDone:    "done",
+	cellFailed:  "failed",
+	cellStolen:  "stolen",
+	cellDrained: "drained",
+}
+
+// job tracks one accepted request — a sweep, a coordinator lease, or a
+// single synchronous cell modeled as a one-cell job so every simulation
+// flows through the same queue, accounting and drain path.
 type job struct {
 	id     string
 	params Params // resolved (never nil) workload params
@@ -129,8 +155,10 @@ type job struct {
 
 	mu        sync.Mutex
 	status    string
-	pending   int // cells not yet finished (completed+failed accounting)
+	states    []uint8 // per-cell lifecycle, indexed like cells
+	pending   int     // cells not yet finished (completed+failed accounting)
 	completed int
+	stolen    int
 	results   []cellResultInternal
 	err       error
 
@@ -155,19 +183,27 @@ func newJob(id string, params Params, cells []cellSpec) *job {
 		params:  params,
 		cells:   cells,
 		status:  StatusQueued,
+		states:  make([]uint8, len(cells)),
 		pending: len(cells),
 		results: make([]cellResultInternal, len(cells)),
 		done:    make(chan struct{}),
 	}
 }
 
-// start transitions queued → running when the first cell begins.
-func (j *job) start() {
+// begin transitions queued → running when the first cell begins and
+// claims cell for execution. It reports false when the cell was stolen
+// (or drained) while it sat in the queue — the worker must skip it.
+func (j *job) begin(cell int) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.states[cell] != cellPending {
+		return false
+	}
+	j.states[cell] = cellRunning
 	if j.status == StatusQueued {
 		j.status = StatusRunning
 	}
-	j.mu.Unlock()
+	return true
 }
 
 // finishCell records one cell's outcome; the last cell finalizes the
@@ -177,9 +213,13 @@ func (j *job) finishCell(cell int, r cellResultInternal) bool {
 	j.results[cell] = r
 	j.pending--
 	if r.err == nil {
+		j.states[cell] = cellDone
 		j.completed++
-	} else if j.err == nil {
-		j.err = r.err
+	} else {
+		j.states[cell] = cellFailed
+		if j.err == nil {
+			j.err = r.err
+		}
 	}
 	last := j.pending == 0
 	if last && (j.status == StatusQueued || j.status == StatusRunning) {
@@ -199,13 +239,61 @@ func (j *job) finishCell(cell int, r cellResultInternal) bool {
 	return last
 }
 
+// steal reclaims up to max not-yet-started cells, preferring the tail of
+// the cell list (the classic steal-from-the-back discipline: the owner
+// drains its lease front-to-back, thieves take from the opposite end).
+// Stolen cells never run here; the caller re-grants them elsewhere.
+// Returns the stolen cell indices in ascending order.
+func (j *job) steal(max int) []int {
+	if max <= 0 {
+		return nil
+	}
+	j.mu.Lock()
+	var stolen []int
+	for i := len(j.cells) - 1; i >= 0 && len(stolen) < max; i-- {
+		if j.states[i] == cellPending {
+			j.states[i] = cellStolen
+			j.stolen++
+			j.pending--
+			stolen = append(stolen, i)
+		}
+	}
+	last := j.pending == 0 && len(stolen) > 0
+	if last && (j.status == StatusQueued || j.status == StatusRunning) {
+		switch {
+		case j.err != nil:
+			j.status = StatusFailed
+		default:
+			j.status = StatusDone
+		}
+	}
+	j.mu.Unlock()
+	if last {
+		j.doneOnce.Do(func() { close(j.done) })
+	}
+	// Reverse into ascending order (collected back-to-front).
+	for l, r := 0, len(stolen)-1; l < r; l, r = l+1, r-1 {
+		stolen[l], stolen[r] = stolen[r], stolen[l]
+	}
+	return stolen
+}
+
 // markRetriable finalizes a job whose queued cells were drained before
 // running: the client should resubmit (same content-addressed ID) after
-// the restart. drained says how many cells never ran.
-func (j *job) markRetriable(drained int) {
+// the restart. cells lists the drained queue entries; only those still
+// pending count (a stolen cell already left the job's accounting).
+// Returns how many cells this drain actually took out of the job.
+func (j *job) markRetriable(cells []int) int {
 	j.mu.Lock()
-	j.pending -= drained
-	if j.status == StatusQueued || j.status == StatusRunning {
+	drained := 0
+	for _, c := range cells {
+		if j.states[c] == cellPending {
+			j.states[c] = cellDrained
+			j.pending--
+			drained++
+		}
+	}
+	if drained > 0 && (j.status == StatusQueued || j.status == StatusRunning) {
 		j.status = StatusRetriable
 	}
 	terminal := j.pending <= 0
@@ -213,6 +301,7 @@ func (j *job) markRetriable(drained int) {
 	if terminal {
 		j.doneOnce.Do(func() { close(j.done) })
 	}
+	return drained
 }
 
 // snapshot returns the job's wire status. Results are attached only for

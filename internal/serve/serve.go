@@ -37,6 +37,16 @@ type Options struct {
 	// SampleEvery cross-checks every Nth guarded run against the
 	// reference engine (default 16; 0 disables cross-checking).
 	SampleEvery int
+	// MinCellTime pads every simulated (non-cached) cell to a minimum
+	// wall-clock service time. Zero in production; the cluster
+	// self-benchmark sets it so shrunken benchmark cells model the
+	// service time of full-scale cells (BENCH_cluster.json records the
+	// value used).
+	MinCellTime time.Duration
+	// BeforeCell, when non-nil, runs at the start of every cell
+	// execution. It is a test and benchmark hook (chaos tests slow one
+	// worker down to manufacture a straggler); nil in production.
+	BeforeCell func()
 	// Log receives operational messages; nil discards them.
 	Log *slog.Logger
 }
@@ -108,6 +118,8 @@ type serverMetrics struct {
 	jobsRetriable *obs.Metric
 	jobsCanceled  *obs.Metric
 	sfShared      *obs.Metric
+	leasesGranted *obs.Metric
+	cellsStolen   *obs.Metric
 	queueDepth    *obs.Metric
 	inFlight      *obs.Metric
 	workers       *obs.Metric
@@ -134,6 +146,8 @@ func newServerMetrics() *serverMetrics {
 		jobsRetriable: s.Counter("serve_jobs_retriable_total", "jobs drained before completion (resubmit after restart)"),
 		jobsCanceled:  s.Counter("serve_jobs_canceled_total", "jobs canceled by their client"),
 		sfShared:      s.Counter("serve_singleflight_shared_total", "cell computations shared between concurrent identical requests"),
+		leasesGranted: s.Counter("serve_leases_granted_total", "coordinator leases accepted into the queue"),
+		cellsStolen:   s.Counter("serve_lease_cells_stolen_total", "lease cells reclaimed by the coordinator before running"),
 		queueDepth:    s.Gauge("serve_queue_depth", "tasks waiting in the queue"),
 		inFlight:      s.Gauge("serve_inflight_cells", "cells currently simulating"),
 		workers:       s.Gauge("serve_workers", "worker pool size"),
@@ -234,16 +248,19 @@ func (s *Server) Drain() {
 	s.mu.Unlock()
 
 	rest := s.queue.Close()
-	// Count drained cells per job, then finalize each job once.
-	drained := make(map[*job]int)
+	// Collect drained cells per job, then finalize each job once. Only
+	// cells still pending count — a cell stolen back by a coordinator
+	// already left this job's accounting.
+	drained := make(map[*job][]int)
 	for _, t := range rest {
-		drained[t.j]++
+		drained[t.j] = append(drained[t.j], t.cell)
 	}
-	for j, n := range drained {
-		j.markRetriable(n)
-		s.metrics.jobsRetriable.Inc()
-		if s.opts.Log != nil {
-			s.opts.Log.Info("drain: job marked retriable", "job", j.id, "cells_not_run", n)
+	for j, cells := range drained {
+		if n := j.markRetriable(cells); n > 0 {
+			s.metrics.jobsRetriable.Inc()
+			if s.opts.Log != nil {
+				s.opts.Log.Info("drain: job marked retriable", "job", j.id, "cells_not_run", n)
+			}
 		}
 	}
 	s.metrics.queueDepth.Set(0)
@@ -368,9 +385,12 @@ func (s *Server) worker() {
 }
 
 // runTask executes one cell of one job and records the outcome; the last
-// cell finalizes the job and its metrics.
+// cell finalizes the job and its metrics. A cell stolen while it sat in
+// the queue is skipped — its thief runs it elsewhere.
 func (s *Server) runTask(t task) {
-	t.j.start()
+	if !t.j.begin(t.cell) {
+		return
+	}
 	s.mu.Lock()
 	s.inFlight++
 	s.metrics.inFlight.Set(int64(s.inFlight))
@@ -432,6 +452,9 @@ func (s *Server) resolveCell(params Params, c cellSpec) (*trace.Trace, *placemen
 // runCell executes one cell: cache lookup, single-flight dedup, guarded
 // simulation, cache fill.
 func (s *Server) runCell(j *job, c cellSpec) cellResultInternal {
+	if s.opts.BeforeCell != nil {
+		s.opts.BeforeCell()
+	}
 	tr, pl, cfg, err := s.resolveCell(j.params, c)
 	if err != nil {
 		return cellResultInternal{err: err}
@@ -465,7 +488,13 @@ func (s *Server) runCell(j *job, c cellSpec) cellResultInternal {
 	s.flights[key] = f
 	s.mu.Unlock()
 
+	t0 := time.Now()
 	res, counters, err := s.simulate(j, c, tr, pl, cfg)
+	if s.opts.MinCellTime > 0 {
+		if rest := s.opts.MinCellTime - time.Since(t0); rest > 0 {
+			time.Sleep(rest)
+		}
+	}
 
 	f.res, f.err = res, err
 	close(f.done)
@@ -555,10 +584,11 @@ func (s *Server) Health() HealthResponse {
 	return h
 }
 
-// sweepJobID derives the content-addressed ID of a sweep: the same sweep
+// SweepJobID derives the content-addressed ID of a sweep: the same sweep
 // (params, dimensions, engine) always maps to the same ID, on this
-// server or a restarted one — a drained client simply resubmits.
-func sweepJobID(params Params, req *SweepRequest, engine string) string {
+// server, a restarted one, or a cluster coordinator — a drained client
+// simply resubmits, and coordinator and worker agree on job identity.
+func SweepJobID(params Params, req *SweepRequest, engine string) string {
 	parts := make([]string, 0, 5+len(req.Apps)+len(req.Algorithms)+len(req.Procs))
 	parts = append(parts,
 		fmt.Sprintf("scale=%g", params.Scale),
