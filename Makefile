@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify lint bench benchsim benchserve benchcluster fuzz golden faultcheck servecheck clustercheck
+.PHONY: build test verify lint bench benchsim benchserve benchcluster fuzz golden faultcheck servecheck clustercheck tracecheck
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 lint:
 	$(GO) run ./cmd/mtlint ./...
 
-verify: faultcheck servecheck clustercheck
+verify: faultcheck servecheck clustercheck tracecheck
 	$(GO) vet ./...
 	$(GO) run ./cmd/mtlint ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -56,6 +56,18 @@ clustercheck:
 # pipeline with byte-identity gating (hard-fails under 3x at 4 workers).
 benchcluster:
 	$(GO) run ./cmd/mtcoord -bench BENCH_cluster.json -bench-workers 4 >/dev/null
+
+# Telemetry tier (DESIGN.md §7): the obs primitives (log-scale histogram
+# goldens and quantiles, bus fan-out with slow-subscriber drop, bounded
+# span store, Perfetto export), then the end-to-end contracts — SSE job
+# streams deliver the terminal state without polling (with and without
+# telemetry enabled), trace IDs propagate coordinator -> worker across
+# lease grants and steals, and a kill-one-worker chaos sweep still
+# exports a single merged Perfetto trace.
+tracecheck:
+	$(GO) test ./internal/obs
+	$(GO) test ./internal/serve -run 'TestJobEvents|TestTraceEndpoint'
+	$(GO) test ./internal/cluster -run 'TestClusterTrace'
 
 # Robustness drills (DESIGN.md §9): the fault-injection matrix (every
 # corruption class at every byte offset must be detected, never silently

@@ -44,6 +44,11 @@ type benchClusterRun struct {
 	Leases      int64   `json:"leases"`
 	Steals      int64   `json:"steals"`
 	Requeues    int64   `json:"requeues"`
+	// Lease lifetime (grant to final harvest) percentiles from the
+	// coordinator_lease_harvest_us histogram; bucket upper bounds in ms.
+	HarvestP50Ms float64 `json:"lease_harvest_p50_ms"`
+	HarvestP90Ms float64 `json:"lease_harvest_p90_ms"`
+	HarvestP99Ms float64 `json:"lease_harvest_p99_ms"`
 }
 
 // benchClusterReport is the BENCH_cluster.json schema.
@@ -194,6 +199,11 @@ func runBench(log *slog.Logger, cfg benchConfig) error {
 			Leases:      snap["coordinator_leases_granted_total"],
 			Steals:      snap["coordinator_steals_total"],
 			Requeues:    snap["coordinator_requeues_total"],
+		}
+		if h, ok := bc.coord.Metrics().HistogramByName("coordinator_lease_harvest_us"); ok {
+			run.HarvestP50Ms = float64(h.Quantile(0.50)) / 1000
+			run.HarvestP90Ms = float64(h.Quantile(0.90)) / 1000
+			run.HarvestP99Ms = float64(h.Quantile(0.99)) / 1000
 		}
 		if len(rep.Runs) > 0 {
 			run.Speedup = run.CellsPerSec / rep.Runs[0].CellsPerSec

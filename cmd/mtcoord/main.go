@@ -54,6 +54,9 @@ func run(args []string) int {
 		journal = fs.String("journal", "", "MTJ1 journal path for crash recovery (empty = off)")
 		verbose = fs.Bool("v", false, "verbose logging")
 
+		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		noTelemetry = fs.Bool("no-telemetry", false, "disable distributed tracing and job-progress streams (histograms stay on)")
+
 		bench        = fs.String("bench", "", "run the in-process cluster scaling benchmark, write the JSON report here, and exit")
 		benchWorkers = fs.Int("bench-workers", 4, "bench: maximum worker count (measures 1..max in doubling steps)")
 		scale        = fs.Float64("scale", 0.25, "bench: workload scale")
@@ -70,7 +73,16 @@ func run(args []string) int {
 		PollInterval:     *poll,
 		LeaseChunk:       *chunk,
 		Journal:          *journal,
+		DisableTelemetry: *noTelemetry,
 		Log:              log,
+	}
+
+	if *debugAddr != "" {
+		stop, err := obs.StartDebugServer(*debugAddr, log)
+		if err != nil {
+			return obs.Fail(log, err, fs.Usage)
+		}
+		defer stop()
 	}
 
 	if *bench != "" {

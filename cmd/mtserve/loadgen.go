@@ -41,6 +41,9 @@ type benchServeReport struct {
 	LatencyP50Ms   float64  `json:"latency_p50_ms"`
 	LatencyP90Ms   float64  `json:"latency_p90_ms"`
 	LatencyP99Ms   float64  `json:"latency_p99_ms"`
+	ServerP50Ms    float64  `json:"server_latency_p50_ms"`
+	ServerP90Ms    float64  `json:"server_latency_p90_ms"`
+	ServerP99Ms    float64  `json:"server_latency_p99_ms"`
 	CacheHits      uint64   `json:"cache_hits"`
 	CacheMisses    uint64   `json:"cache_misses"`
 	CacheHitRate   float64  `json:"cache_hit_rate"`
@@ -142,6 +145,15 @@ func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 	rep.LatencyP50Ms = lats.PercentileMs(0.50)
 	rep.LatencyP90Ms = lats.PercentileMs(0.90)
 	rep.LatencyP99Ms = lats.PercentileMs(0.99)
+	// The client-side percentiles above include transport; the server-side
+	// triple comes from the serve_request_latency_us histogram — the same
+	// distribution /metrics exposes, so the report and the exposition can
+	// be cross-checked. Histogram quantiles are bucket upper bounds.
+	if h, ok := srv.Metrics().HistogramByName("serve_request_latency_us"); ok {
+		rep.ServerP50Ms = float64(h.Quantile(0.50)) / 1000
+		rep.ServerP90Ms = float64(h.Quantile(0.90)) / 1000
+		rep.ServerP99Ms = float64(h.Quantile(0.99)) / 1000
+	}
 	if rep.Seconds > 0 {
 		rep.RequestsPerSec = float64(rep.Requests) / rep.Seconds
 	}

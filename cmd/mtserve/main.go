@@ -69,6 +69,10 @@ func run(args []string) int {
 		crossCheck = fs.Int("crosscheck", 16, "cross-check every Nth guarded run against the reference engine (0 = off)")
 		verbose    = fs.Bool("v", false, "verbose logging")
 
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		streamWindow = fs.Uint64("stream-window", 100_000, "sampler window (cycles) for live SSE sample events when a stream is attached (0 = no samples)")
+		noTelemetry  = fs.Bool("no-telemetry", false, "disable distributed tracing and job-progress streams (histograms stay on)")
+
 		coord     = fs.String("coord", "", "coordinator base URL to join as a cluster worker (e.g. http://127.0.0.1:9090)")
 		name      = fs.String("name", "", "cluster worker ID (default derived from the listen address)")
 		advertise = fs.String("advertise", "", "base URL the coordinator should reach this worker at (default http://<listen addr>)")
@@ -87,13 +91,23 @@ func run(args []string) int {
 	log := obs.NewLogger(os.Stderr, *verbose)
 
 	opts := serve.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheSize,
-		MaxSteps:       *maxSteps,
-		RequestTimeout: *timeout,
-		SampleEvery:    *crossCheck,
-		Log:            log,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheSize,
+		MaxSteps:         *maxSteps,
+		RequestTimeout:   *timeout,
+		SampleEvery:      *crossCheck,
+		StreamWindow:     *streamWindow,
+		DisableTelemetry: *noTelemetry,
+		Log:              log,
+	}
+
+	if *debugAddr != "" {
+		stop, err := obs.StartDebugServer(*debugAddr, log)
+		if err != nil {
+			return obs.Fail(log, err, fs.Usage)
+		}
+		defer stop()
 	}
 
 	if *loadgen {
@@ -125,12 +139,22 @@ type coordConfig struct {
 
 // serveMain runs the daemon until SIGTERM/SIGINT, then drains.
 func serveMain(log *slog.Logger, addr string, opts serve.Options, cc coordConfig) int {
-	srv := serve.NewServer(opts)
+	// Listen before building the server: a cluster worker's ID (derived
+	// from the bound address unless -name is set) labels its spans, so a
+	// cluster-wide trace shows which worker ran what.
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Error(err.Error())
 		return obs.CodeError
 	}
+	id := cc.name
+	if id == "" {
+		id = "worker-" + sanitizeWorkerID(ln.Addr().String())
+	}
+	if cc.url != "" {
+		opts.ServiceName = id
+	}
+	srv := serve.NewServer(opts)
 	hs := &http.Server{Handler: srv.Handler()}
 	log.Info("mtserve listening", "addr", ln.Addr().String())
 
@@ -138,10 +162,6 @@ func serveMain(log *slog.Logger, addr string, opts serve.Options, cc coordConfig
 	// all scheduling intelligence stays on the coordinator.
 	var agent *cluster.Agent
 	if cc.url != "" {
-		id := cc.name
-		if id == "" {
-			id = "worker-" + sanitizeWorkerID(ln.Addr().String())
-		}
 		self := cc.advertise
 		if self == "" {
 			self = "http://" + ln.Addr().String()

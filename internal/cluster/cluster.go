@@ -40,6 +40,12 @@ type Options struct {
 	Journal string
 	// Log receives operational messages; nil discards them.
 	Log *slog.Logger
+	// SpanCapacity bounds the coordinator's span store
+	// (obs.DefaultSpanCapacity when 0).
+	SpanCapacity int
+	// DisableTelemetry turns off distributed tracing and the job-progress
+	// event bus. Histograms stay on — they are three atomic adds.
+	DisableTelemetry bool
 }
 
 func (o Options) withDefaults() Options {
@@ -89,7 +95,9 @@ func (w *worker) client() *client.Client {
 type Coordinator struct {
 	opts    Options
 	metrics *coordMetrics
-	journal *coordJournal // nil when journaling is off
+	journal *coordJournal  // nil when journaling is off
+	spans   *obs.SpanStore // nil when telemetry is disabled
+	bus     *obs.Bus       // nil when telemetry is disabled
 
 	mu       sync.Mutex
 	workers  map[string]*worker
@@ -110,6 +118,10 @@ func New(opts Options) (*Coordinator, error) {
 		metrics: newCoordMetrics(),
 		workers: make(map[string]*worker),
 		jobs:    make(map[string]*cjob),
+	}
+	if !opts.DisableTelemetry {
+		c.spans = obs.NewSpanStore(opts.SpanCapacity)
+		c.bus = obs.NewBus(c.metrics.streamDropped)
 	}
 	if opts.Journal != "" {
 		j, interrupted, err := openCoordJournal(opts.Journal)
@@ -266,6 +278,12 @@ type cjob struct {
 	infinite bool
 	cells    []cellIdent
 
+	// trace is the sweep's distributed-trace context and span its root
+	// span, ended at the terminal state (zero/nil when telemetry is
+	// disabled). Write-once before runJob starts, read-only after.
+	trace obs.SpanContext
+	span  *obs.ActiveSpan
+
 	mu        sync.Mutex
 	status    string
 	states    []uint8
@@ -277,6 +295,15 @@ type cjob struct {
 
 	doneOnce sync.Once
 	done     chan struct{} // closed at the terminal state
+}
+
+// finish closes the done channel and ends the root span, exactly once
+// across the finalize and retire paths.
+func (j *cjob) finish() {
+	j.doneOnce.Do(func() {
+		close(j.done)
+		j.span.End()
+	})
 }
 
 func retriableJob(id string) *cjob {
@@ -306,6 +333,7 @@ func (j *cjob) snapshot() serve.JobStatus {
 		Cells:     len(j.cells),
 		Completed: j.completed,
 		Error:     j.errmsg,
+		Trace:     j.trace.Trace,
 	}
 	if j.status == serve.StatusDone {
 		st.Results = append([]serve.CellResult(nil), j.results...)
@@ -363,6 +391,12 @@ func resolveParams(p *serve.Params) serve.Params {
 // existing=true; a retriable record (drain or crash recovery) is
 // replaced by a fresh run — resubmission is how clients recover.
 func (c *Coordinator) SubmitSweep(req *serve.SweepRequest) (st serve.JobStatus, existing bool, err error) {
+	return c.SubmitSweepTraced(req, obs.SpanContext{})
+}
+
+// SubmitSweepTraced is SubmitSweep joining the caller's distributed
+// trace (a fresh trace is minted when ctx is zero and telemetry is on).
+func (c *Coordinator) SubmitSweepTraced(req *serve.SweepRequest, ctx obs.SpanContext) (st serve.JobStatus, existing bool, err error) {
 	if c.Draining() {
 		return serve.JobStatus{}, false, errDraining
 	}
@@ -408,6 +442,15 @@ func (c *Coordinator) SubmitSweep(req *serve.SweepRequest) (st serve.JobStatus, 
 	for i, cell := range j.cells {
 		j.results[i] = serve.CellResult{App: cell.app, Algorithm: cell.alg, Procs: cell.procs}
 	}
+	if c.spans != nil {
+		// Root span for the whole distributed sweep; every lease grant,
+		// steal, requeue and worker-side span hangs under it.
+		if !ctx.Valid() {
+			ctx = obs.NewTrace()
+		}
+		j.span = c.spans.Start(ctx, coordService, "sweep")
+		j.trace = j.span.Context()
+	}
 	c.jobs[id] = j
 	c.order = append(c.order, id)
 	c.evictLocked()
@@ -421,6 +464,7 @@ func (c *Coordinator) SubmitSweep(req *serve.SweepRequest) (st serve.JobStatus, 
 			c.opts.Log.Warn("journal write failed", "job", id, "err", jerr.Error())
 		}
 	}
+	c.publishJob(j)
 	c.wg.Add(1)
 	go c.runJob(j)
 	return j.snapshot(), false, nil

@@ -88,6 +88,11 @@ func (tc *testCluster) addWorker(id string, wopts serve.Options) *testWorker {
 	if wopts.SampleEvery == 0 {
 		wopts.SampleEvery = -1
 	}
+	// Mirror production (cmd/mtserve): a clustered worker's spans carry
+	// its worker ID, so merged traces attribute work per worker.
+	if wopts.ServiceName == "" {
+		wopts.ServiceName = id
+	}
 	srv := serve.NewServer(wopts)
 	ts := httptest.NewServer(srv.Handler())
 	w := &testWorker{

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
@@ -22,12 +24,27 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", c.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleJobEvents)
+	mux.HandleFunc("GET /v1/trace/{id}", c.handleTrace)
 	mux.HandleFunc("GET /v1/placements", c.handlePlacements)
 	mux.HandleFunc("GET /healthz", c.handleHealth)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
 	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
-	return mux
+	return c.instrument(mux)
+}
+
+// instrument feeds the request-latency histogram around the mux. SSE
+// streams are excluded — their duration is the client's watch time, not
+// a request latency.
+func (c *Coordinator) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		if !strings.HasSuffix(r.URL.Path, "/events") {
+			c.metrics.reqLatency.ObserveSince(start)
+		}
+	})
 }
 
 // writeJSON writes v with the given status.
@@ -50,7 +67,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), false)
 		return
 	}
-	st, existing, err := c.SubmitSweep(req)
+	st, existing, err := c.SubmitSweepTraced(req, c.traceFromRequest(r))
 	if err != nil {
 		// Both refusal modes — draining and an empty cluster — are
 		// retriable: the identical sweep succeeds once workers are back.
@@ -62,6 +79,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Status:   st.Status,
 		Cells:    st.Cells,
 		Existing: existing,
+		Trace:    st.Trace,
 	})
 }
 
@@ -123,13 +141,24 @@ func (c *Coordinator) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		return live[i] < live[k]
 	})
+	// Wrap the proxied call in a coordinator span so the worker's spans
+	// (propagated via the forwarded header) nest under it.
+	var proxySpan *obs.ActiveSpan
+	trace := ""
+	if c.spans != nil {
+		proxySpan = c.spans.Start(c.traceFromRequest(r), coordService, "proxy simulate")
+		defer proxySpan.End()
+		trace = proxySpan.Context().HeaderValue()
+		w.Header().Set(obs.TraceHeader, trace)
+	}
 	for _, wid := range live {
 		wk := c.workerByID(wid)
 		if wk == nil {
 			continue
 		}
-		resp, err := wk.client().Simulate(req)
+		resp, err := wk.client().SimulateTrace(req, trace)
 		if err == nil {
+			proxySpan.SetNote("worker " + wid)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}

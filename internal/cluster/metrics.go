@@ -29,6 +29,10 @@ type coordMetrics struct {
 	cellsStolen    *obs.Metric
 	cellsRequeued  *obs.Metric
 	pendingCells   *obs.Metric
+	streamDropped  *obs.Metric
+
+	reqLatency   *obs.Histogram
+	leaseHarvest *obs.Histogram
 }
 
 func newCoordMetrics() *coordMetrics {
@@ -50,6 +54,9 @@ func newCoordMetrics() *coordMetrics {
 		cellsStolen:    s.Counter("coordinator_steals_total", "cells stolen from a straggler's lease for an idle worker"),
 		cellsRequeued:  s.Counter("coordinator_requeues_total", "cells requeued after a worker death"),
 		pendingCells:   s.Gauge("coordinator_pending_cells", "cells accepted but not yet completed"),
+		streamDropped:  s.Counter("coordinator_stream_dropped_events_total", "progress-stream events dropped on slow subscribers"),
+		reqLatency:     s.Histogram("coordinator_request_latency_us", "request latency in microseconds (SSE streams excluded)"),
+		leaseHarvest:   s.Histogram("coordinator_lease_harvest_us", "lease lifetime from grant to final harvest in microseconds"),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
 )
@@ -23,6 +24,17 @@ type leaseRef struct {
 	id    string
 	w     *worker
 	cells []int // job cell indices, in lease-local order
+
+	granted time.Time       // grant instant, for the grant-to-harvest histogram
+	span    *obs.ActiveSpan // coordinator-side lease span (nil without telemetry)
+}
+
+// leaseDone closes the books on a lease leaving the outstanding set:
+// the grant-to-final-harvest latency lands in the histogram and the
+// lease span ends.
+func (c *Coordinator) leaseDone(lr *leaseRef) {
+	c.metrics.leaseHarvest.ObserveSince(lr.granted)
+	lr.span.End()
 }
 
 // runJob drives one sweep to a terminal state.
@@ -31,6 +43,7 @@ func (c *Coordinator) runJob(j *cjob) {
 	j.mu.Lock()
 	j.status = serve.StatusRunning
 	j.mu.Unlock()
+	c.publishJob(j)
 
 	var outstanding []*leaseRef
 	leaseSeq := 0
@@ -66,6 +79,7 @@ func (c *Coordinator) harvest(j *cjob, outstanding []*leaseRef, now time.Time) [
 			// absorb the duplicate execution.
 			c.markDead(lr.w, errors.New("heartbeat timeout"))
 			c.requeueLease(j, lr)
+			c.leaseDone(lr)
 			continue
 		}
 		st, err := lr.w.client().LeaseStatus(lr.id)
@@ -79,6 +93,7 @@ func (c *Coordinator) harvest(j *cjob, outstanding []*leaseRef, now time.Time) [
 				c.markDead(lr.w, err)
 				c.requeueLease(j, lr)
 			}
+			c.leaseDone(lr)
 			continue
 		}
 		for li, cs := range st.CellState {
@@ -101,6 +116,7 @@ func (c *Coordinator) harvest(j *cjob, outstanding []*leaseRef, now time.Time) [
 			// Terminal on the worker: anything this lease still owns (cells
 			// the worker drained) goes back to pending.
 			c.requeueLease(j, lr)
+			c.leaseDone(lr)
 		default:
 			kept = append(kept, lr)
 		}
@@ -133,6 +149,7 @@ func (c *Coordinator) recordDone(j *cjob, lr *leaseRef, ci int, cs serve.LeaseCe
 	c.metrics.cellsCompleted.Inc()
 	c.metrics.pendingCells.Add(-1)
 	lr.w.metrics.pending.Add(-1)
+	c.publishCell(j, ci, lr.w.id, "done", cs.Key, cs.Cached, "")
 	if c.journal != nil {
 		if err := c.journal.cellDone(j.id, ci, cs.Key); err != nil {
 			// A post-crash re-execution disagreed with the journaled result
@@ -171,6 +188,7 @@ func (c *Coordinator) recordFailed(j *cjob, lr *leaseRef, ci int, cs serve.Lease
 	c.metrics.cellsFailed.Inc()
 	c.metrics.pendingCells.Add(-1)
 	lr.w.metrics.pending.Add(-1)
+	c.publishCell(j, ci, lr.w.id, "failed", cs.Key, false, cs.Error)
 }
 
 // requeueLease returns every cell a lease still owns to pending.
@@ -189,6 +207,10 @@ func (c *Coordinator) requeueLease(j *cjob, lr *leaseRef) {
 		c.metrics.cellsRequeued.Add(int64(n))
 		lr.w.metrics.requeues.Add(int64(n))
 		lr.w.metrics.pending.Add(-int64(n))
+		if c.spans != nil && j.trace.Valid() {
+			c.spans.AddEvent(j.trace, coordService, "requeue",
+				fmt.Sprintf("%d cells off %s", n, lr.w.id))
+		}
 		if c.opts.Log != nil {
 			c.opts.Log.Warn("lease requeued", "job", j.id, "lease", lr.id, "worker", lr.w.id, "cells", n)
 		}
@@ -248,6 +270,13 @@ func (c *Coordinator) grantLease(j *cjob, w *worker, cells []int, leaseSeq *int)
 		cell := j.cells[ci]
 		req.Cells[i] = serve.LeaseCell{App: cell.app, Algorithm: cell.alg, Procs: cell.procs}
 	}
+	var sp *obs.ActiveSpan
+	if c.spans != nil && j.trace.Valid() {
+		// The worker parents its lease span under this one, so the grant
+		// shows as a coordinator interval with the worker's work inside.
+		sp = c.spans.Start(j.trace, coordService, "lease "+w.id)
+		req.Trace = sp.Context().HeaderValue()
+	}
 	if _, err := w.client().Lease(req); err != nil {
 		var ae *client.APIError
 		if errors.As(err, &ae) && ae.Retriable {
@@ -265,7 +294,7 @@ func (c *Coordinator) grantLease(j *cjob, w *worker, cells []int, leaseSeq *int)
 	j.mu.Unlock()
 	c.metrics.leasesGranted.Inc()
 	w.metrics.pending.Add(int64(len(granted)))
-	return &leaseRef{id: leaseID, w: w, cells: granted}
+	return &leaseRef{id: leaseID, w: w, cells: granted, granted: time.Now(), span: sp}
 }
 
 // owned counts the cells a lease still owns.
@@ -345,6 +374,10 @@ func (c *Coordinator) stealForIdle(j *cjob, outstanding []*leaseRef, live []stri
 		c.metrics.cellsStolen.Add(int64(len(moved)))
 		victim.w.metrics.steals.Add(int64(len(moved)))
 		victim.w.metrics.pending.Add(-int64(len(moved)))
+		if c.spans != nil && j.trace.Valid() {
+			c.spans.AddEvent(j.trace, coordService, "steal",
+				fmt.Sprintf("%d cells %s -> %s", len(moved), victim.w.id, wid))
+		}
 		if c.opts.Log != nil {
 			c.opts.Log.Info("cells stolen", "job", j.id, "from", victim.w.id, "to", wid, "cells", len(moved))
 		}
@@ -366,7 +399,9 @@ func (c *Coordinator) finalize(j *cjob) {
 	}
 	status := j.status
 	j.mu.Unlock()
-	j.doneOnce.Do(func() { close(j.done) })
+	j.span.SetNote(status)
+	j.finish()
+	c.publishJob(j)
 
 	if status == serve.StatusDone {
 		c.metrics.jobsCompleted.Inc()
@@ -399,7 +434,8 @@ func (c *Coordinator) retireRetriable(j *cjob, outstanding []*leaseRef) {
 	remaining := len(j.cells) - j.completed - j.failed
 	j.status = serve.StatusRetriable
 	j.mu.Unlock()
-	j.doneOnce.Do(func() { close(j.done) })
+	j.finish()
+	c.publishJob(j)
 	c.metrics.jobsRetriable.Inc()
 	c.metrics.pendingCells.Add(-int64(remaining))
 	if c.opts.Log != nil {

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Coordinator-side halves of the telemetry endpoints. The wire formats
+// (serve.JobEvent, serve.CellEvent, serve.TraceSpans, Perfetto JSON) are
+// the worker's, so one client understands both tiers. The trace
+// endpoint is the cluster-wide merge point: it joins the coordinator's
+// own spans with every live worker's before rendering, which is how a
+// whole sweep — coordinator scheduling plus each worker's queueing and
+// engine runs — lands on a single Perfetto timeline.
+
+// coordService is the coordinator's service label in spans.
+const coordService = "mtcoord"
+
+// jobTopic names a job's bus topic (same scheme as the workers).
+func jobTopic(id string) string { return "job:" + id }
+
+// traceFromRequest extracts the caller's context from the Mtsim-Trace
+// header, minting a fresh root when absent. Zero when telemetry is off.
+func (c *Coordinator) traceFromRequest(r *http.Request) obs.SpanContext {
+	if c.spans == nil {
+		return obs.SpanContext{}
+	}
+	if ctx, ok := obs.ParseTrace(r.Header.Get(obs.TraceHeader)); ok {
+		return ctx
+	}
+	return obs.NewTrace()
+}
+
+// publishJob emits a job-level state event.
+func (c *Coordinator) publishJob(j *cjob) {
+	if c.bus == nil {
+		return
+	}
+	c.bus.Publish(jobTopic(j.id), "job", serve.JobEventOf(j.snapshot()))
+}
+
+// publishCell emits one harvested cell outcome.
+func (c *Coordinator) publishCell(j *cjob, ci int, workerID, state, key string, cached bool, errmsg string) {
+	if c.bus == nil {
+		return
+	}
+	cell := j.cells[ci]
+	c.bus.Publish(jobTopic(j.id), "cell", serve.CellEvent{
+		Job: j.id, Cell: ci, Worker: workerID,
+		App: cell.app, Algorithm: cell.alg, Procs: cell.procs,
+		State: state, Key: key, Cached: cached, Error: errmsg,
+	})
+}
+
+// handleJobEvents streams a job's progress as server-sent events, same
+// contract as a worker: a "job" snapshot first, bus events after, and
+// the terminal state delivered off the done channel even if the bus
+// dropped everything.
+func (c *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id, false)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported", false)
+		return
+	}
+
+	var events <-chan obs.Event
+	if c.bus != nil {
+		sub := c.bus.Subscribe(jobTopic(id), sseBuffer)
+		defer sub.Close()
+		events = sub.C()
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	st := j.snapshot()
+	if err := serve.WriteSSE(w, obs.Event{Kind: "job", Data: serve.JobEventOf(st)}); err != nil {
+		return
+	}
+	fl.Flush()
+	if serve.TerminalStatus(st.Status) {
+		return
+	}
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev := <-events:
+			if err := serve.WriteSSE(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+			if je, ok := ev.Data.(serve.JobEvent); ok && serve.TerminalStatus(je.Status) {
+				return
+			}
+		case <-j.done:
+			_ = serve.WriteSSE(w, obs.Event{Kind: "job", Data: serve.JobEventOf(j.snapshot())})
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// sseKeepalive and sseBuffer mirror the worker's stream tuning.
+const (
+	sseKeepalive = 15 * time.Second
+	sseBuffer    = 256
+)
+
+// handleTrace merges the coordinator's spans with every live worker's
+// and renders the cluster-wide trace. Worker fetch failures are
+// tolerated — a dead worker's spans are simply absent, the surviving
+// timeline still renders (the chaos contract).
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if c.spans == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled", false)
+		return
+	}
+	id := r.PathValue("id")
+	spans := c.spans.Trace(id)
+	for _, wid := range c.liveWorkerIDs(time.Now()) {
+		wk := c.workerByID(wid)
+		if wk == nil {
+			continue
+		}
+		ws, err := wk.client().Spans(id)
+		if err != nil {
+			continue
+		}
+		spans = append(spans, ws...)
+	}
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "unknown trace "+id, false)
+		return
+	}
+	obs.SortSpans(spans)
+	if r.URL.Query().Get("format") == "spans" {
+		writeJSON(w, http.StatusOK, serve.TraceSpans{Trace: id, Spans: spans})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WritePerfetto(w, id, spans)
+}

@@ -36,6 +36,10 @@ func TestDeterminismClusterFixture(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "determinism/internal/cluster")
 }
 
+func TestDeterminismObsFixture(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "determinism/internal/obs")
+}
+
 // TestDeterminismOutOfScope runs the determinism analyzer over a package
 // outside its scope lists: wall clock, global rand and map-ordered output
 // are all someone else's problem there, so the fixture has no want

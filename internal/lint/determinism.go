@@ -45,7 +45,13 @@ var determinismTimeRandScope = []string{"internal/sim", "internal/workload", "in
 // and error output — must not depend on Go's randomized map iteration.
 // (The coordinator legitimately reads the wall clock for heartbeat
 // liveness, so it is deliberately not in the time/rand scope.)
-var determinismMapOrderScope = []string{"internal/report", "internal/analysis", "internal/cluster"}
+// internal/obs is here because its renderings are part of the repo's
+// byte-determinism contract: the /metrics exposition (histogram buckets
+// included) and the span/Perfetto trace export must produce identical
+// bytes for identical recorded state, so map iteration must never feed
+// either. (obs legitimately reads wall clocks for spans and latency
+// histograms, so it too stays out of the time/rand scope.)
+var determinismMapOrderScope = []string{"internal/report", "internal/analysis", "internal/cluster", "internal/obs"}
 
 // seededRandConstructors are the math/rand functions that do not touch the
 // global source.

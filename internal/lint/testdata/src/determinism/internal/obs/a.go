@@ -1,0 +1,75 @@
+// Package obs is the determinism fixture for the telemetry scope: metric
+// and span rendering — the /metrics exposition, the Perfetto export —
+// must emit identical bytes for identical recorded state, so nothing
+// observable may depend on Go's randomized map iteration order. The
+// import path ends in internal/obs, which puts it in scope.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// exposeLeak renders metric series in map iteration order: two scrapes of
+// the same state would disagree on line order.
+func exposeLeak(w io.Writer, series map[string]int64) {
+	for name, v := range series { // want `range over map series feeds output through Fprintf in map iteration order`
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+}
+
+// exposeSorted is the sanctioned idiom: collect keys, sort, then render.
+func exposeSorted(w io.Writer, series map[string]int64) {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, series[name])
+	}
+}
+
+type span struct {
+	trace string
+	start int64
+}
+
+// exportLeak flattens a span store into an export slice in map iteration
+// order and never sorts it: the trace file bytes change run to run.
+func exportLeak(byTrace map[string][]span) []span {
+	var out []span
+	for _, spans := range byTrace { // want `range over map byTrace appends to out in map iteration order without a later sort`
+		out = append(out, spans...)
+	}
+	return out
+}
+
+// exportSorted flattens then sorts before anything renders it.
+func exportSorted(byTrace map[string][]span) []span {
+	var out []span
+	for _, spans := range byTrace {
+		out = append(out, spans...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return out
+}
+
+// bucketTotal tallies an integer across buckets: commutative, allowed.
+func bucketTotal(buckets map[int]int64) int64 {
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
+	return total
+}
+
+// snapshot writes map entries into another map: order-insensitive.
+func snapshot(counts map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(counts))
+	for name, v := range counts {
+		out[name] = v
+	}
+	return out
+}

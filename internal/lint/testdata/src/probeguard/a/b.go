@@ -1,0 +1,67 @@
+// Telemetry pointer cases: *obs.Bus and *obs.SpanStore are nil when a
+// daemon runs with -no-telemetry, so method calls need the same nil-guard
+// dominance as obs.Probe calls. *obs.ActiveSpan is exempt — nil-safe by
+// design.
+package a
+
+import "repro/internal/obs"
+
+type server struct {
+	bus   *obs.Bus
+	spans *obs.SpanStore
+}
+
+// unguardedBus is a latent panic under -no-telemetry.
+func (s *server) unguardedBus() {
+	s.bus.Publish("job:1", "job", nil) // want `call on obs\.Bus value s\.bus is not dominated by a s\.bus != nil check`
+}
+
+// guardedBus is the serving layer's standard shape.
+func (s *server) guardedBus() {
+	if s.bus != nil {
+		s.bus.Publish("job:1", "job", nil)
+	}
+}
+
+// earlyReturnBus guards once for the rest of the function.
+func (s *server) earlyReturnBus() {
+	if s.bus == nil {
+		return
+	}
+	s.bus.Publish("job:1", "cell", nil)
+}
+
+// shortCircuitBus: the left && conjunct has already established the fact
+// when the call in the right operand evaluates.
+func (s *server) shortCircuitBus(topic string) bool {
+	return s.bus != nil && s.bus.Subscribers(topic) > 0
+}
+
+// unguardedSpans panics the first time tracing is off.
+func (s *server) unguardedSpans(ctx obs.SpanContext) {
+	s.spans.AddEvent(ctx, "svc", "steal", "") // want `call on obs\.SpanStore value s\.spans is not dominated by a s\.spans != nil check`
+}
+
+// guardedSpans with a compound condition: the nil check is a top-level
+// && conjunct.
+func (s *server) guardedSpans(ctx obs.SpanContext) {
+	if s.spans != nil && ctx.Valid() {
+		s.spans.AddEvent(ctx, "svc", "requeue", "")
+	}
+}
+
+// nestedGuard: the call sits in a nested if inside the guarded body.
+func (s *server) nestedGuard(ctx obs.SpanContext, deep bool) {
+	if s.spans != nil {
+		if deep {
+			_ = s.spans.Start(ctx, "svc", "lease")
+		}
+	}
+}
+
+// activeSpanNilSafe: ActiveSpan methods carry their own nil checks, so
+// no guard is required (and none is flagged).
+func activeSpanNilSafe(sp *obs.ActiveSpan) {
+	sp.SetNote("worker w0")
+	sp.End()
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus is a small bounded fan-out event bus: the serving tiers publish
+// job state transitions and Sampler windows onto it, and each SSE client
+// holds one Subscriber. Publish never blocks — a subscriber whose buffer
+// is full loses the event and its drop counter advances, so one stalled
+// client cannot back-pressure the worker pool. Subscribers detect loss
+// by gaps in Event.Seq and resynchronize from a snapshot.
+
+// Event is one published record. Seq is a bus-global monotonically
+// increasing sequence number (gaps at a subscriber mean drops).
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Topic string `json:"-"`
+	Kind  string `json:"kind"`
+	Data  any    `json:"data"`
+}
+
+// Bus routes events to topic subscribers. The zero value is not usable;
+// call NewBus.
+type Bus struct {
+	mu      sync.Mutex
+	seq     uint64
+	subs    map[*Subscriber]struct{}
+	dropped atomic.Int64
+	// droppedMetric, when set, mirrors the drop count into a MetricSet
+	// counter so /metrics exposes stream loss.
+	droppedMetric *Metric
+}
+
+// NewBus returns an empty bus. droppedMetric may be nil; when set, it is
+// incremented once per dropped event.
+func NewBus(droppedMetric *Metric) *Bus {
+	return &Bus{subs: make(map[*Subscriber]struct{}), droppedMetric: droppedMetric}
+}
+
+// Subscriber receives one topic's events on a bounded channel.
+type Subscriber struct {
+	bus     *Bus
+	topic   string
+	ch      chan Event
+	dropped atomic.Int64
+	closed  bool
+}
+
+// Subscribe registers a subscriber for a topic ("" matches every topic)
+// with the given channel buffer (minimum 1).
+func (b *Bus) Subscribe(topic string, buf int) *Subscriber {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscriber{bus: b, topic: topic, ch: make(chan Event, buf)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Publish delivers an event to every matching subscriber, dropping it
+// for subscribers whose buffers are full.
+func (b *Bus) Publish(topic, kind string, data any) {
+	b.mu.Lock()
+	b.seq++
+	ev := Event{Seq: b.seq, Topic: topic, Kind: kind, Data: data}
+	for s := range b.subs {
+		if s.topic != "" && s.topic != topic {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+			if b.droppedMetric != nil {
+				b.droppedMetric.Inc()
+			}
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribers reports how many subscribers currently match a topic. The
+// serving layer uses this to skip building stream payloads nobody wants.
+func (b *Bus) Subscribers(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for s := range b.subs {
+		if s.topic == "" || s.topic == topic {
+			n++
+		}
+	}
+	return n
+}
+
+// Dropped returns the total events dropped across all subscribers.
+func (b *Bus) Dropped() int64 { return b.dropped.Load() }
+
+// C returns the subscriber's receive channel.
+func (s *Subscriber) C() <-chan Event { return s.ch }
+
+// Dropped returns the events this subscriber lost to a full buffer.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Close unregisters the subscriber. Its channel is not closed (a
+// concurrent Publish may hold it); receivers select on their own done
+// signal.
+func (s *Subscriber) Close() {
+	s.bus.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		delete(s.bus.subs, s)
+	}
+	s.bus.mu.Unlock()
+}

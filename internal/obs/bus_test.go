@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestBusFanout: every matching subscriber receives every event, in
+// publish order, with monotonically increasing sequence numbers.
+func TestBusFanout(t *testing.T) {
+	b := NewBus(nil)
+	a := b.Subscribe("job:1", 8)
+	defer a.Close()
+	all := b.Subscribe("", 8)
+	defer all.Close()
+	other := b.Subscribe("job:2", 8)
+	defer other.Close()
+
+	b.Publish("job:1", "cell", 1)
+	b.Publish("job:1", "cell", 2)
+
+	for i := 1; i <= 2; i++ {
+		ev := <-a.C()
+		if ev.Kind != "cell" || ev.Data != i {
+			t.Errorf("subscriber got %+v, want cell %d", ev, i)
+		}
+		wild := <-all.C()
+		if wild.Seq != ev.Seq {
+			t.Errorf("wildcard seq %d != topic seq %d", wild.Seq, ev.Seq)
+		}
+	}
+	select {
+	case ev := <-other.C():
+		t.Errorf("other-topic subscriber got %+v", ev)
+	default:
+	}
+	if b.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", b.Dropped())
+	}
+}
+
+// TestBusSlowSubscriberDrop is the slow-subscriber drop test: a full
+// buffer loses events (never blocks the publisher), the drop counters
+// advance, and the delivered events show a sequence gap.
+func TestBusSlowSubscriberDrop(t *testing.T) {
+	dropped := NewMetricSet().Counter("stream_dropped_events_total", "events dropped")
+	b := NewBus(dropped)
+	slow := b.Subscribe("t", 2)
+	defer slow.Close()
+
+	for i := 0; i < 10; i++ {
+		b.Publish("t", "k", i) // must never block
+	}
+	if slow.Dropped() != 8 {
+		t.Errorf("subscriber dropped = %d, want 8", slow.Dropped())
+	}
+	if b.Dropped() != 8 {
+		t.Errorf("bus dropped = %d, want 8", b.Dropped())
+	}
+	if dropped.Value() != 8 {
+		t.Errorf("mirrored metric = %d, want 8", dropped.Value())
+	}
+	first := <-slow.C()
+	second := <-slow.C()
+	if first.Data != 0 || second.Data != 1 {
+		t.Errorf("buffered events = %v,%v, want the first two published", first.Data, second.Data)
+	}
+	// The gap is visible to a resynchronizing client: the next published
+	// event's Seq jumps past the dropped range.
+	b.Publish("t", "k", 10)
+	next := <-slow.C()
+	if next.Seq != second.Seq+9 {
+		t.Errorf("seq gap: got %d after %d, want %d", next.Seq, second.Seq, second.Seq+9)
+	}
+}
+
+// TestBusSubscribers: topic matching for the publish-side cheap check.
+func TestBusSubscribers(t *testing.T) {
+	b := NewBus(nil)
+	if n := b.Subscribers("x"); n != 0 {
+		t.Fatalf("empty bus reports %d subscribers", n)
+	}
+	s := b.Subscribe("x", 1)
+	w := b.Subscribe("", 1)
+	if n := b.Subscribers("x"); n != 2 {
+		t.Errorf("Subscribers(x) = %d, want 2 (topic + wildcard)", n)
+	}
+	if n := b.Subscribers("y"); n != 1 {
+		t.Errorf("Subscribers(y) = %d, want 1 (wildcard)", n)
+	}
+	s.Close()
+	s.Close() // idempotent
+	w.Close()
+	if n := b.Subscribers("x"); n != 0 {
+		t.Errorf("Subscribers after close = %d, want 0", n)
+	}
+}

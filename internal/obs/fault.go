@@ -56,8 +56,19 @@ func (c *Counter) Fault(t uint64, kind FaultKind) {
 
 // Fault implements Probe. Faults are not windowed: they are rare,
 // run-level events, and folding them into Sample would churn the CSV
-// schema every consumer of Table() parses. Counter and Tracer carry them.
-func (s *Sampler) Fault(t uint64, kind FaultKind) {}
+// schema every consumer of Table() parses. Instead each mark lands in a
+// bounded side list (see Sampler.Faults) surfaced through Table()
+// metadata, so CSV/SVG timelines still show when a watchdog fired.
+// Fault deliberately does not materialize windows: a mark at or past the
+// run's end (the watchdog fires at the budget edge) must not extend the
+// series.
+func (s *Sampler) Fault(t uint64, kind FaultKind) {
+	if len(s.faults) >= maxFaultMarks {
+		s.faultsDropped++
+		return
+	}
+	s.faults = append(s.faults, FaultMark{T: t, Kind: kind})
+}
 
 // Fault implements Probe. The marker lands on the synthetic "simulator"
 // process row, scoped global so Perfetto draws it across the whole view.

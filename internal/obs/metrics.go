@@ -24,11 +24,18 @@ const (
 	KindCounter MetricKind = iota
 	// KindGauge moves both ways (queue depth, in-flight requests).
 	KindGauge
+	// KindHistogram is a fixed log-scale bucket distribution (see
+	// Histogram); registered via MetricSet.Histogram, rendered as
+	// Prometheus _bucket/_sum/_count series.
+	KindHistogram
 )
 
 func (k MetricKind) String() string {
-	if k == KindGauge {
+	switch k {
+	case KindGauge:
 		return "gauge"
+	case KindHistogram:
+		return "histogram"
 	}
 	return "counter"
 }
@@ -64,11 +71,12 @@ func (m *Metric) Value() int64 { return m.v.Load() }
 type MetricSet struct {
 	mu     sync.Mutex
 	byName map[string]*Metric
+	hists  map[string]*Histogram
 }
 
 // NewMetricSet returns an empty registry.
 func NewMetricSet() *MetricSet {
-	return &MetricSet{byName: make(map[string]*Metric)}
+	return &MetricSet{byName: make(map[string]*Metric), hists: make(map[string]*Histogram)}
 }
 
 // Counter registers (or returns the existing) counter with this name.
@@ -92,38 +100,95 @@ func (s *MetricSet) register(name, help string, kind MetricKind) *Metric {
 		}
 		return m
 	}
+	if _, ok := s.hists[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different kind or help", name))
+	}
 	m := &Metric{name: name, help: help, kind: kind}
 	s.byName[name] = m
 	return m
+}
+
+// Histogram registers (or returns the existing) histogram with this name.
+// Like register, re-registering with a different kind or help panics.
+func (s *MetricSet) Histogram(name, help string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.hists[name]; ok {
+		if h.help != help {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different kind or help", name))
+		}
+		return h
+	}
+	if _, ok := s.byName[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different kind or help", name))
+	}
+	h := NewHistogram(name, help)
+	s.hists[name] = h
+	return h
+}
+
+// HistogramByName returns the registered histogram, if any. Benches use
+// this to read server-side distributions without exporting struct fields.
+func (s *MetricSet) HistogramByName(name string) (*Histogram, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hists[name]
+	return h, ok
 }
 
 // Snapshot returns the current value of every metric, keyed by name.
 func (s *MetricSet) Snapshot() map[string]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]int64, len(s.byName))
+	out := make(map[string]int64, len(s.byName)+2*len(s.hists))
 	for name, m := range s.byName {
 		out[name] = m.Value()
+	}
+	for name, h := range s.hists {
+		out[name+"_count"] = h.Count()
+		out[name+"_sum"] = h.Sum()
 	}
 	return out
 }
 
 // WriteTo renders every metric in the Prometheus text format, sorted by
 // name so the output is deterministic for a given set of values.
+// Histograms interleave with scalar metrics in the same name order.
 func (s *MetricSet) WriteTo(w io.Writer) (int64, error) {
 	s.mu.Lock()
 	metrics := make([]*Metric, 0, len(s.byName))
 	for _, m := range s.byName {
 		metrics = append(metrics, m)
 	}
+	hists := make([]*Histogram, 0, len(s.hists))
+	for _, h := range s.hists {
+		hists = append(hists, h)
+	}
 	s.mu.Unlock()
 	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 
 	var n int64
+	hi := 0
 	for _, m := range metrics {
+		for hi < len(hists) && hists[hi].name < m.name {
+			c, err := hists[hi].writeTo(w)
+			n += c
+			if err != nil {
+				return n, err
+			}
+			hi++
+		}
 		c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
 			m.name, m.help, m.name, m.kind, m.name, m.Value())
 		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	for ; hi < len(hists); hi++ {
+		c, err := hists[hi].writeTo(w)
+		n += c
 		if err != nil {
 			return n, err
 		}

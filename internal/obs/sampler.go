@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/report"
 )
@@ -29,26 +30,49 @@ type Sampler struct {
 	// or -1 while not running; busy cycles are integrated over windows
 	// when the slice closes.
 	runStart []int64
+	// faults is the bounded side list of fault marks (watchdog fired,
+	// engine benched, ...). Faults are not folded into Sample — they are
+	// rare run-level events and adding columns would churn the CSV schema
+	// — but they surface as Table() metadata so timelines show them.
+	faults        []FaultMark
+	faultsDropped int
 }
 
-// Sample is one window's aggregated activity.
+// FaultMark is one fault event observed during a run.
+type FaultMark struct {
+	T    uint64    `json:"t"`
+	Kind FaultKind `json:"kind"`
+}
+
+// maxFaultMarks bounds the per-run fault list; a run that faults more
+// than this has one problem repeated, not many distinct marks worth
+// keeping.
+const maxFaultMarks = 64
+
+// Sample is one window's aggregated activity. The JSON tags are the SSE
+// stream wire format (GET /v1/jobs/{id}/events "sample" events).
 type Sample struct {
 	// Start and End bound the window in simulated cycles, [Start, End).
-	Start, End uint64
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
 	// Refs, Hits and Misses count references issued in the window.
-	Refs, Hits uint64
-	Misses     [NumMissClasses]uint64
+	Refs   uint64                 `json:"refs"`
+	Hits   uint64                 `json:"hits"`
+	Misses [NumMissClasses]uint64 `json:"misses"`
 	// Upgradeless coherence activity in the window.
-	Invalidations, Updates, PairTraffic uint64
+	Invalidations uint64 `json:"invalidations"`
+	Updates       uint64 `json:"updates"`
+	PairTraffic   uint64 `json:"pair_traffic"`
 	// Switches counts context switches charged in the window.
-	Switches uint64
+	Switches uint64 `json:"switches"`
 	// BusyCycles integrates running-context time over the window: a
 	// window in which 3 contexts ran the whole time contributes 3·W.
-	BusyCycles uint64
+	BusyCycles uint64 `json:"busy_cycles"`
 	// Event-queue depth statistics over the engine events processed in
 	// the window.
-	QueueSum, QueueCount uint64
-	QueueMax             int
+	QueueSum   uint64 `json:"queue_sum"`
+	QueueCount uint64 `json:"queue_count"`
+	QueueMax   int    `json:"queue_max"`
 }
 
 // TotalMisses sums the window's miss classes.
@@ -130,6 +154,8 @@ func (s *Sampler) RunBegin(meta RunMeta) {
 	s.exec = 0
 	s.ended = false
 	s.samples = s.samples[:0]
+	s.faults = s.faults[:0]
+	s.faultsDropped = 0
 	s.runStart = make([]int64, meta.Threads)
 	for i := range s.runStart {
 		s.runStart[i] = -1
@@ -234,12 +260,41 @@ func (s *Sampler) Samples() []Sample {
 	return out
 }
 
+// Faults returns the recorded fault marks in emission order.
+func (s *Sampler) Faults() []FaultMark {
+	out := make([]FaultMark, len(s.faults))
+	copy(out, s.faults)
+	return out
+}
+
+// FaultsDropped returns how many marks were discarded once the bounded
+// list filled.
+func (s *Sampler) FaultsDropped() int { return s.faultsDropped }
+
+// faultNote renders the fault marks as one metadata line for Table().
+func (s *Sampler) faultNote() string {
+	if len(s.faults) == 0 {
+		return ""
+	}
+	parts := make([]string, len(s.faults))
+	for i, f := range s.faults {
+		parts[i] = fmt.Sprintf("%s@t=%d", f.Kind, f.T)
+	}
+	note := "faults: " + strings.Join(parts, ", ")
+	if s.faultsDropped > 0 {
+		note += fmt.Sprintf(" (+%d dropped)", s.faultsDropped)
+	}
+	return note
+}
+
 // Table renders the samples as a report.Table — one row per window — for
-// text rendering and CSV export.
+// text rendering and CSV export. Fault marks, which are not windowed,
+// ride along as the table's Note metadata.
 func (s *Sampler) Table() *report.Table {
 	t := &report.Table{
 		Title: fmt.Sprintf("Time series: %s / %s (%s engine, %d-cycle windows)",
 			s.meta.App, s.meta.Algorithm, s.meta.Engine, s.window),
+		Note: s.faultNote(),
 		Columns: []string{
 			"start", "end", "refs", "hits", "misses", "miss_rate",
 			"compulsory", "conflict_intra", "conflict_inter", "invalidation_miss",

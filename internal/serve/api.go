@@ -206,6 +206,9 @@ type SimulateResponse struct {
 	// "counters" and the cell was actually simulated (a cache hit carries
 	// no counters — nothing ran).
 	Counters *obs.Counter `json:"counters,omitempty"`
+	// Trace is the request's distributed-trace ID, usable against
+	// GET /v1/trace/{id}. Empty when telemetry is disabled.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CellResult is one completed cell of a sweep job.
@@ -238,6 +241,9 @@ type SweepAccepted struct {
 	// Existing reports that an identical sweep was already known; its
 	// job record was returned instead of a new one.
 	Existing bool `json:"existing,omitempty"`
+	// Trace is the job's distributed-trace ID (the existing job's ID when
+	// Existing). Empty when telemetry is disabled.
+	Trace string `json:"trace,omitempty"`
 }
 
 // JobStatus is the GET /v1/jobs/{id} reply.
@@ -247,6 +253,9 @@ type JobStatus struct {
 	Cells     int    `json:"cells"`
 	Completed int    `json:"completed"`
 	Error     string `json:"error,omitempty"`
+	// Trace is the job's distributed-trace ID, usable against
+	// GET /v1/trace/{id}. Empty when telemetry is disabled.
+	Trace string `json:"trace,omitempty"`
 	// Results carries every cell (in the sweep's deterministic
 	// apps x algorithms x procs order) once the job is done.
 	Results []CellResult `json:"results,omitempty"`

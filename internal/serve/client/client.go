@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -68,12 +69,18 @@ func IsRetriable(err error) bool {
 // post sends one JSON request and decodes the 2xx reply into out,
 // retrying retriable rejections up to MaxRetries times.
 func (c *Client) post(path string, in, out any) error {
+	return c.postTrace(path, in, out, "")
+}
+
+// postTrace is post with an optional Mtsim-Trace header value ("" sends
+// no header) so proxies can propagate a distributed-trace context.
+func (c *Client) postTrace(path string, in, out any, trace string) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
 	for attempt := 0; ; attempt++ {
-		err := c.roundTrip(http.MethodPost, path, body, out)
+		err := c.roundTrip(http.MethodPost, path, body, out, trace)
 		if err == nil || !IsRetriable(err) || attempt >= c.MaxRetries {
 			return err
 		}
@@ -82,7 +89,7 @@ func (c *Client) post(path string, in, out any) error {
 }
 
 func (c *Client) get(path string, out any) error {
-	return c.roundTrip(http.MethodGet, path, nil, out)
+	return c.roundTrip(http.MethodGet, path, nil, out, "")
 }
 
 // retryDelay is the wait between retriable rejections.
@@ -93,7 +100,7 @@ func (c *Client) retryDelay(error) time.Duration {
 	return 250 * time.Millisecond
 }
 
-func (c *Client) roundTrip(method, path string, body []byte, out any) error {
+func (c *Client) roundTrip(method, path string, body []byte, out any, trace string) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -104,6 +111,9 @@ func (c *Client) roundTrip(method, path string, body []byte, out any) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -126,14 +136,37 @@ func (c *Client) roundTrip(method, path string, body []byte, out any) error {
 
 // Simulate runs one cell synchronously.
 func (c *Client) Simulate(req *serve.SimulateRequest) (*serve.SimulateResponse, error) {
+	return c.SimulateTrace(req, "")
+}
+
+// SimulateTrace is Simulate joining an existing distributed trace: trace
+// is a Mtsim-Trace header value ("" sends no header). The coordinator's
+// proxy path uses it so a proxied cell's worker spans land in the
+// caller's trace.
+func (c *Client) SimulateTrace(req *serve.SimulateRequest, trace string) (*serve.SimulateResponse, error) {
 	var out serve.SimulateResponse
-	if err := c.post("/v1/simulate", req, &out); err != nil {
+	if err := c.postTrace("/v1/simulate", req, &out, trace); err != nil {
 		return nil, err
 	}
 	if out.Result == nil {
 		return nil, errors.New("mtserve: simulate reply without a result")
 	}
 	return &out, nil
+}
+
+// Spans fetches the raw span list for one trace ID. An unknown trace is
+// not an error — it returns an empty slice, so a coordinator can merge
+// worker stores best-effort.
+func (c *Client) Spans(traceID string) ([]obs.Span, error) {
+	var out serve.TraceSpans
+	if err := c.get("/v1/trace/"+traceID+"?format=spans", &out); err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return out.Spans, nil
 }
 
 // Sweep submits an asynchronous sweep.

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -17,6 +20,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/placements", s.handlePlacements)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -39,12 +44,30 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument counts requests and response classes around the mux.
+// Flush forwards to the wrapped writer: the SSE stream handler needs
+// http.Flusher to survive the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController lookups through the wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// instrument counts requests and response classes around the mux, and
+// feeds the request-latency histogram. SSE streams are excluded from
+// the latency histogram — their "latency" is the client's watch
+// duration, which would drown the real request distribution.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Inc()
+		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
+		if !strings.HasSuffix(r.URL.Path, "/events") {
+			s.metrics.reqLatency.ObserveSince(start)
+		}
 		switch {
 		case rec.status >= 500:
 			s.metrics.resp5xx.Inc()
@@ -108,6 +131,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := newJob("", resolveParams(req.Params), []cellSpec{cell})
+	if s.spans != nil {
+		// The request span is the job's root; cell spans hang off it. It
+		// ends with the job (finish()), which this handler always waits for.
+		j.span = s.spans.Start(s.traceFromRequest(r), s.opts.ServiceName, "simulate "+cellLabel(cell))
+		j.trace = j.span.Context()
+		w.Header().Set(obs.TraceHeader, j.trace.HeaderValue())
+	}
 	if err := s.enqueue(j); err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
@@ -153,6 +183,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Degraded: s.guard.Degraded(),
 		Result:   res.res,
 		Counters: res.counters,
+		Trace:    j.trace.Trace,
 	})
 }
 
@@ -171,6 +202,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	engine := normalizeEngine(req.Engine)
 	params := resolveParams(req.Params)
 	j := newJob(SweepJobID(params, req, engine), params, sweepCells(req, engine))
+	if s.spans != nil {
+		// Root span for the whole sweep, ended when the job reaches a
+		// terminal state. If the sweep turns out to be a duplicate the
+		// fresh span is simply never ended, so it is never recorded.
+		j.span = s.spans.Start(s.traceFromRequest(r), s.opts.ServiceName, "sweep")
+		j.trace = j.span.Context()
+	}
 
 	reg, existing, err := s.submitSweep(j)
 	if err != nil {
@@ -191,6 +229,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Status:   st.Status,
 		Cells:    st.Cells,
 		Existing: existing,
+		Trace:    st.Trace,
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sim"
 )
@@ -54,6 +55,10 @@ type LeaseRequest struct {
 	Engine   string      `json:"engine,omitempty"`
 	Infinite bool        `json:"infinite,omitempty"`
 	Cells    []LeaseCell `json:"cells"`
+	// Trace optionally carries the coordinator's span context in
+	// Mtsim-Trace wire form ("<trace>-<span>"), so the worker's lease
+	// spans join the sweep's distributed trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // LeaseCellStatus is one cell's view inside a LeaseStatus poll. Result
@@ -142,6 +147,11 @@ func (r *LeaseRequest) Validate() error {
 		}
 		if c.Procs < 1 || c.Procs > MaxProcs {
 			return fmt.Errorf("cell %d: procs %d out of range [1, %d]", i, c.Procs, MaxProcs)
+		}
+	}
+	if r.Trace != "" {
+		if _, ok := obs.ParseTrace(r.Trace); !ok {
+			return fmt.Errorf("trace %q is not a Mtsim-Trace value", r.Trace)
 		}
 	}
 	return nil
@@ -236,6 +246,15 @@ func (s *Server) handleLeaseGrant(w http.ResponseWriter, r *http.Request) {
 	}
 	engine := normalizeEngine(req.Engine)
 	j := newJob(leaseJobPrefix+req.Lease, resolveParams(req.Params), leaseCells(req, engine))
+	if s.spans != nil {
+		if ctx, ok := obs.ParseTrace(req.Trace); ok {
+			// Join the coordinator's trace; the lease span ends when the
+			// lease job reaches a terminal state. A duplicate grant's span
+			// is never ended, so it is never recorded.
+			j.span = s.spans.Start(ctx, s.opts.ServiceName, "lease "+req.Lease)
+			j.trace = j.span.Context()
+		}
+	}
 
 	reg, existing := s.jobs.add(j)
 	if existing {
@@ -286,5 +305,12 @@ func (s *Server) handleLeaseSteal(w http.ResponseWriter, r *http.Request) {
 	}
 	stolen := j.steal(req.Max)
 	s.metrics.cellsStolen.Add(int64(len(stolen)))
+	if len(stolen) > 0 {
+		if s.spans != nil && j.trace.Valid() {
+			s.spans.AddEvent(j.trace, s.opts.ServiceName, "steal",
+				fmt.Sprintf("%d cells reclaimed", len(stolen)))
+		}
+		s.publishJob(j)
+	}
 	writeJSON(w, http.StatusOK, StealResponse{Lease: id, Stolen: stolen})
 }

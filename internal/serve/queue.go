@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -25,10 +26,12 @@ type cellSpec struct {
 	counters          bool
 }
 
-// task is one unit of queue work: cell index cell of job j.
+// task is one unit of queue work: cell index cell of job j. enq is the
+// enqueue instant, feeding the queue-wait histogram and span.
 type task struct {
 	j    *job
 	cell int
+	enq  time.Time
 }
 
 // taskQueue is a bounded FIFO guarded by a mutex and condition variable.
@@ -149,6 +152,15 @@ type job struct {
 	params Params // resolved (never nil) workload params
 	cells  []cellSpec
 
+	// trace is the distributed-trace context this job's spans hang off
+	// (zero when telemetry is disabled). Set once before enqueue, read-only
+	// afterwards.
+	trace obs.SpanContext
+	// span is the job's root span, ended when the job reaches a terminal
+	// state (nil when telemetry is disabled; End is nil-safe). Set with
+	// trace, under the same write-once contract.
+	span *obs.ActiveSpan
+
 	// cancel is observed by sim.Guard inside running cells; setting it
 	// aborts them with a BudgetError.
 	cancel atomic.Bool
@@ -234,9 +246,18 @@ func (j *job) finishCell(cell int, r cellResultInternal) bool {
 	}
 	j.mu.Unlock()
 	if last {
-		j.doneOnce.Do(func() { close(j.done) })
+		j.finish()
 	}
 	return last
+}
+
+// finish closes the done channel and ends the job's root span, exactly
+// once across the three terminal paths (finishCell, steal, drain).
+func (j *job) finish() {
+	j.doneOnce.Do(func() {
+		close(j.done)
+		j.span.End()
+	})
 }
 
 // steal reclaims up to max not-yet-started cells, preferring the tail of
@@ -269,7 +290,7 @@ func (j *job) steal(max int) []int {
 	}
 	j.mu.Unlock()
 	if last {
-		j.doneOnce.Do(func() { close(j.done) })
+		j.finish()
 	}
 	// Reverse into ascending order (collected back-to-front).
 	for l, r := 0, len(stolen)-1; l < r; l, r = l+1, r-1 {
@@ -299,7 +320,7 @@ func (j *job) markRetriable(cells []int) int {
 	terminal := j.pending <= 0
 	j.mu.Unlock()
 	if terminal {
-		j.doneOnce.Do(func() { close(j.done) })
+		j.finish()
 	}
 	return drained
 }
@@ -314,6 +335,7 @@ func (j *job) snapshot() JobStatus {
 		Status:    j.status,
 		Cells:     len(j.cells),
 		Completed: j.completed,
+		Trace:     j.trace.Trace,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

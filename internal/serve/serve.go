@@ -47,6 +47,22 @@ type Options struct {
 	// execution. It is a test and benchmark hook (chaos tests slow one
 	// worker down to manufacture a straggler); nil in production.
 	BeforeCell func()
+	// ServiceName labels this server's spans on the distributed-trace
+	// timeline (default "mtserve"; clustered workers use their worker ID).
+	ServiceName string
+	// SpanCapacity bounds the in-process span store
+	// (default obs.DefaultSpanCapacity).
+	SpanCapacity int
+	// StreamWindow, when positive, attaches an obs.Sampler with this
+	// window width (simulated cycles) to cells whose job has a live SSE
+	// subscriber, streaming per-window samples as "sample" events. Zero
+	// streams job/cell transitions only.
+	StreamWindow uint64
+	// DisableTelemetry turns off the span store and event bus entirely:
+	// no spans recorded, /v1/trace answers 404, SSE streams carry only
+	// the initial snapshot and terminal event. Histograms stay on (three
+	// atomic adds per observation).
+	DisableTelemetry bool
 	// Log receives operational messages; nil discards them.
 	Log *slog.Logger
 }
@@ -70,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SampleEvery < 0 {
 		o.SampleEvery = 0
+	}
+	if o.ServiceName == "" {
+		o.ServiceName = "mtserve"
 	}
 	return o
 }
@@ -124,6 +143,11 @@ type serverMetrics struct {
 	inFlight      *obs.Metric
 	workers       *obs.Metric
 	degraded      *obs.Metric
+	streamDropped *obs.Metric
+
+	reqLatency *obs.Histogram
+	queueWait  *obs.Histogram
+	engineRate *obs.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -152,6 +176,10 @@ func newServerMetrics() *serverMetrics {
 		inFlight:      s.Gauge("serve_inflight_cells", "cells currently simulating"),
 		workers:       s.Gauge("serve_workers", "worker pool size"),
 		degraded:      s.Gauge("serve_degraded", "1 once the fast engine is benched"),
+		streamDropped: s.Counter("serve_stream_dropped_events_total", "SSE events dropped on slow subscribers"),
+		reqLatency:    s.Histogram("serve_request_latency_us", "HTTP request latency in microseconds"),
+		queueWait:     s.Histogram("serve_queue_wait_us", "cell time from enqueue to execution start in microseconds"),
+		engineRate:    s.Histogram("serve_engine_cycles_per_sec", "simulated cycles per wall-clock second per engine run"),
 	}
 }
 
@@ -166,6 +194,12 @@ type Server struct {
 	guard   *resilience.EngineGuard
 	jobs    *jobRegistry
 	metrics *serverMetrics
+
+	// spans and bus are the telemetry layer; both nil when
+	// Options.DisableTelemetry (every call site nil-guards, enforced by
+	// mtlint's probeguard analyzer).
+	spans *obs.SpanStore
+	bus   *obs.Bus
 
 	mu       sync.Mutex
 	suites   []*suiteEntry
@@ -194,6 +228,10 @@ func NewServer(opts Options) *Server {
 		jobs:    newJobRegistry(),
 		metrics: newServerMetrics(),
 		flights: make(map[rescache.Key]*flight),
+	}
+	if !opts.DisableTelemetry {
+		s.spans = obs.NewSpanStore(opts.SpanCapacity)
+		s.bus = obs.NewBus(s.metrics.streamDropped)
 	}
 	s.guard = &resilience.EngineGuard{
 		SampleEvery: opts.SampleEvery,
@@ -258,6 +296,7 @@ func (s *Server) Drain() {
 	for j, cells := range drained {
 		if n := j.markRetriable(cells); n > 0 {
 			s.metrics.jobsRetriable.Inc()
+			s.publishJob(j)
 			if s.opts.Log != nil {
 				s.opts.Log.Info("drain: job marked retriable", "job", j.id, "cells_not_run", n)
 			}
@@ -324,9 +363,10 @@ func (s *Server) enqueue(j *job) error {
 	}
 	s.mu.Unlock()
 
+	now := time.Now()
 	ts := make([]task, len(j.cells))
 	for i := range j.cells {
-		ts[i] = task{j: j, cell: i}
+		ts[i] = task{j: j, cell: i, enq: now}
 	}
 	if !s.queue.TryPushAll(ts) {
 		s.metrics.rejectedFull.Inc()
@@ -391,19 +431,25 @@ func (s *Server) runTask(t task) {
 	if !t.j.begin(t.cell) {
 		return
 	}
+	s.metrics.queueWait.Observe(time.Since(t.enq).Microseconds())
+	if s.spans != nil && t.j.trace.Valid() {
+		s.spans.AddSpan(t.j.trace, s.opts.ServiceName, "queue wait", t.enq, time.Now())
+	}
 	s.mu.Lock()
 	s.inFlight++
 	s.metrics.inFlight.Set(int64(s.inFlight))
 	s.mu.Unlock()
 
-	r := s.runCell(t.j, t.j.cells[t.cell])
+	r := s.runCell(t.j, t.cell)
 
 	s.mu.Lock()
 	s.inFlight--
 	s.metrics.inFlight.Set(int64(s.inFlight))
 	s.mu.Unlock()
 
-	if t.j.finishCell(t.cell, r) {
+	last := t.j.finishCell(t.cell, r)
+	s.publishCell(t.j, t.cell, r)
+	if last {
 		st := t.j.snapshot()
 		switch st.Status {
 		case StatusDone:
@@ -413,6 +459,7 @@ func (s *Server) runTask(t task) {
 		case StatusFailed:
 			s.metrics.jobsFailed.Inc()
 		}
+		s.publishJob(t.j)
 	}
 }
 
@@ -450,8 +497,18 @@ func (s *Server) resolveCell(params Params, c cellSpec) (*trace.Trace, *placemen
 }
 
 // runCell executes one cell: cache lookup, single-flight dedup, guarded
-// simulation, cache fill.
-func (s *Server) runCell(j *job, c cellSpec) cellResultInternal {
+// simulation, cache fill. When tracing is on, the cell and its cache
+// lookup and engine run each become spans on the job's trace.
+func (s *Server) runCell(j *job, cell int) cellResultInternal {
+	c := j.cells[cell]
+	var cellSpan *obs.ActiveSpan
+	sctx := obs.SpanContext{}
+	if s.spans != nil && j.trace.Valid() {
+		cellSpan = s.spans.Start(j.trace, s.opts.ServiceName, "cell "+cellLabel(c))
+		defer cellSpan.End()
+		sctx = cellSpan.Context()
+	}
+
 	if s.opts.BeforeCell != nil {
 		s.opts.BeforeCell()
 	}
@@ -469,7 +526,13 @@ func (s *Server) runCell(j *job, c cellSpec) cellResultInternal {
 
 	// The cache counts hits/misses/evictions authoritatively; /metrics
 	// mirrors its counters at scrape time.
-	if res := s.cache.Get(key); res != nil {
+	lookupStart := time.Now()
+	res := s.cache.Get(key)
+	if s.spans != nil && sctx.Valid() {
+		s.spans.AddSpan(sctx, s.opts.ServiceName, "cache lookup", lookupStart, time.Now())
+	}
+	if res != nil {
+		cellSpan.SetNote("cache hit")
 		return cellResultInternal{key: keyHex, cached: true, res: res}
 	}
 
@@ -478,7 +541,11 @@ func (s *Server) runCell(j *job, c cellSpec) cellResultInternal {
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
 		s.metrics.sfShared.Inc()
+		waitStart := time.Now()
 		<-f.done
+		if s.spans != nil && sctx.Valid() {
+			s.spans.AddSpan(sctx, s.opts.ServiceName, "singleflight wait", waitStart, time.Now())
+		}
 		if f.err != nil {
 			return cellResultInternal{key: keyHex, err: f.err}
 		}
@@ -488,8 +555,18 @@ func (s *Server) runCell(j *job, c cellSpec) cellResultInternal {
 	s.flights[key] = f
 	s.mu.Unlock()
 
+	var engineSpan *obs.ActiveSpan
+	if s.spans != nil && sctx.Valid() {
+		engineSpan = s.spans.Start(sctx, s.opts.ServiceName, "engine "+c.engine)
+	}
 	t0 := time.Now()
-	res, counters, err := s.simulate(j, c, tr, pl, cfg)
+	res, counters, err := s.simulate(j, c, cell, tr, pl, cfg)
+	if err == nil && res != nil {
+		if sec := time.Since(t0).Seconds(); sec > 0 {
+			s.metrics.engineRate.Observe(int64(float64(res.ExecTime) / sec))
+		}
+	}
+	engineSpan.End()
 	if s.opts.MinCellTime > 0 {
 		if rest := s.opts.MinCellTime - time.Since(t0); rest > 0 {
 			time.Sleep(rest)
@@ -510,8 +587,12 @@ func (s *Server) runCell(j *job, c cellSpec) cellResultInternal {
 	return cellResultInternal{key: keyHex, res: res, counters: counters}
 }
 
-// simulate runs the cell on its engine under the job's guard.
-func (s *Server) simulate(j *job, c cellSpec, tr *trace.Trace, pl *placement.Placement, cfg sim.Config) (*sim.Result, *obs.Counter, error) {
+// simulate runs the cell on its engine under the job's guard. When the
+// job has a live SSE subscriber and sample streaming is configured, a
+// Sampler rides along and its windows are published as "sample" events
+// after the run (zero cost for unwatched jobs: the probe is nil and the
+// engines skip every hook).
+func (s *Server) simulate(j *job, c cellSpec, cell int, tr *trace.Trace, pl *placement.Placement, cfg sim.Config) (*sim.Result, *obs.Counter, error) {
 	guard := sim.Guard{MaxSteps: s.opts.MaxSteps, Cancel: &j.cancel}
 	var timer *time.Timer
 	if s.opts.RequestTimeout > 0 {
@@ -522,6 +603,11 @@ func (s *Server) simulate(j *job, c cellSpec, tr *trace.Trace, pl *placement.Pla
 	if c.counters {
 		counters = &obs.Counter{}
 		probe = counters
+	}
+	var sampler *obs.Sampler
+	if s.bus != nil && s.opts.StreamWindow > 0 && s.bus.Subscribers(jobTopic(j.id)) > 0 {
+		sampler = obs.NewSampler(s.opts.StreamWindow)
+		probe = obs.Multi(probe, sampler)
 	}
 
 	s.metrics.simRuns.Inc()
@@ -537,6 +623,13 @@ func (s *Server) simulate(j *job, c cellSpec, tr *trace.Trace, pl *placement.Pla
 	}
 	if timer != nil {
 		timer.Stop()
+	}
+	if s.bus != nil && sampler != nil && err == nil {
+		for i, w := range sampler.Samples() {
+			s.bus.Publish(jobTopic(j.id), "sample", SampleEvent{
+				Job: j.id, Cell: cell, Window: uint64(i), Sample: w,
+			})
+		}
 	}
 	if err != nil {
 		return nil, nil, err

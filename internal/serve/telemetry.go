@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The telemetry endpoints (both also served by the mtcoord coordinator):
+//
+//	GET /v1/jobs/{id}/events  SSE stream of job/cell/sample events
+//	GET /v1/trace/{id}        Perfetto trace-event JSON for one trace ID
+//	                          (?format=spans for the raw span list)
+//
+// SSE semantics: the stream opens with a "job" snapshot event, then
+// relays bus events for the job. The bus drops events on slow
+// subscribers (serve_stream_dropped_events_total counts them; Seq gaps
+// reveal the loss), but the terminal "job" event is delivered
+// out-of-band off the job's done channel, so every stream ends with the
+// job's final state no matter what was dropped in between.
+
+// JobEvent is the "job" SSE event: a job-level state snapshot.
+type JobEvent struct {
+	Job       string `json:"job"`
+	Status    string `json:"status"`
+	Cells     int    `json:"cells"`
+	Completed int    `json:"completed"`
+	Error     string `json:"error,omitempty"`
+}
+
+// CellEvent is the "cell" SSE event: one cell reached a terminal state.
+type CellEvent struct {
+	Job  string `json:"job"`
+	Cell int    `json:"cell"`
+	// Worker is the executing worker's ID on coordinator streams; empty
+	// on a worker's own stream (the worker is the stream).
+	Worker    string `json:"worker,omitempty"`
+	App       string `json:"app"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Procs     int    `json:"procs"`
+	State     string `json:"state"`
+	Key       string `json:"key,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// SampleEvent is the "sample" SSE event: one Sampler window of a
+// streaming cell.
+type SampleEvent struct {
+	Job    string     `json:"job"`
+	Cell   int        `json:"cell"`
+	Window uint64     `json:"window"`
+	Sample obs.Sample `json:"sample"`
+}
+
+// TraceSpans is the GET /v1/trace/{id}?format=spans reply; the
+// coordinator uses it to merge worker spans into one timeline.
+type TraceSpans struct {
+	Trace string     `json:"trace"`
+	Spans []obs.Span `json:"spans"`
+}
+
+// jobTopic names a job's bus topic.
+func jobTopic(id string) string { return "job:" + id }
+
+// cellLabel names a cell for spans and logs.
+func cellLabel(c cellSpec) string {
+	alg := c.algorithm
+	if alg == "" && c.explicitPlacement != nil {
+		alg = c.explicitPlacement.Algorithm
+	}
+	return fmt.Sprintf("%s/%s/p%d", c.app, alg, c.procs)
+}
+
+// JobEventOf projects a status snapshot into its SSE form (shared with
+// the mtcoord coordinator, which streams the same wire format).
+func JobEventOf(st JobStatus) JobEvent {
+	return JobEvent{Job: st.Job, Status: st.Status, Cells: st.Cells, Completed: st.Completed, Error: st.Error}
+}
+
+// publishJob emits a job-level state event.
+func (s *Server) publishJob(j *job) {
+	if s.bus == nil {
+		return
+	}
+	s.bus.Publish(jobTopic(j.id), "job", JobEventOf(j.snapshot()))
+}
+
+// publishCell emits one finished cell.
+func (s *Server) publishCell(j *job, cell int, r cellResultInternal) {
+	if s.bus == nil {
+		return
+	}
+	c := j.cells[cell]
+	ev := CellEvent{
+		Job: j.id, Cell: cell, App: c.app, Algorithm: c.algorithm, Procs: c.procs,
+		State: cellStateNames[cellDone], Key: r.key, Cached: r.cached,
+	}
+	if r.err != nil {
+		ev.State = cellStateNames[cellFailed]
+		ev.Error = r.err.Error()
+	}
+	s.bus.Publish(jobTopic(j.id), "cell", ev)
+}
+
+// traceFromRequest extracts the caller's trace context from the
+// Mtsim-Trace header, or mints a fresh root when absent or malformed.
+// Returns the zero context when telemetry is off.
+func (s *Server) traceFromRequest(r *http.Request) obs.SpanContext {
+	if s.spans == nil {
+		return obs.SpanContext{}
+	}
+	if ctx, ok := obs.ParseTrace(r.Header.Get(obs.TraceHeader)); ok {
+		return ctx
+	}
+	return obs.NewTrace()
+}
+
+// sseKeepalive is the comment-ping interval holding idle streams open
+// through proxies.
+const sseKeepalive = 15 * time.Second
+
+// sseBuffer is the per-subscriber event buffer; a client slower than
+// this many outstanding events starts losing intermediate ones.
+const sseBuffer = 256
+
+// WriteSSE writes one event in text/event-stream framing (shared with
+// the mtcoord coordinator's stream handler).
+func WriteSSE(w http.ResponseWriter, ev obs.Event) error {
+	data, err := json.Marshal(ev.Data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+	return err
+}
+
+// handleJobEvents streams a job's progress as server-sent events.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id, false)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported", false)
+		return
+	}
+
+	// Subscribe before the snapshot so no transition can fall between
+	// snapshot and stream.
+	var events <-chan obs.Event
+	if s.bus != nil {
+		sub := s.bus.Subscribe(jobTopic(id), sseBuffer)
+		defer sub.Close()
+		events = sub.C()
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	st := j.snapshot()
+	if err := WriteSSE(w, obs.Event{Kind: "job", Data: JobEventOf(st)}); err != nil {
+		return
+	}
+	fl.Flush()
+	if TerminalStatus(st.Status) {
+		return
+	}
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev := <-events:
+			if err := WriteSSE(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+			if je, ok := ev.Data.(JobEvent); ok && TerminalStatus(je.Status) {
+				return
+			}
+		case <-j.done:
+			// Terminal delivery is guaranteed off the done channel, not the
+			// bus: even a subscriber that dropped everything gets the final
+			// state.
+			_ = WriteSSE(w, obs.Event{Kind: "job", Data: JobEventOf(j.snapshot())})
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// TerminalStatus reports whether a wire job status is final.
+func TerminalStatus(status string) bool {
+	switch status {
+	case StatusDone, StatusFailed, StatusRetriable, StatusCanceled:
+		return true
+	}
+	return false
+}
+
+// handleTrace exports one trace as Perfetto trace-event JSON (or the raw
+// span list with ?format=spans).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.spans == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled", false)
+		return
+	}
+	id := r.PathValue("id")
+	spans := s.spans.Trace(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "unknown trace "+id, false)
+		return
+	}
+	if r.URL.Query().Get("format") == "spans" {
+		writeJSON(w, http.StatusOK, TraceSpans{Trace: id, Spans: spans})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WritePerfetto(w, id, spans)
+}
