@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify lint bench benchsim benchserve benchcluster fuzz golden faultcheck servecheck clustercheck tracecheck
+.PHONY: build test verify lint racecheck bench benchsim benchserve benchcluster fuzz golden faultcheck servecheck clustercheck tracecheck
 
 build:
 	$(GO) build ./...
@@ -13,14 +13,27 @@ build:
 test:
 	$(GO) test ./...
 
-# Project-specific static analysis: hotpath, probeguard, determinism,
-# stdlibonly (see DESIGN.md §8 and `go run ./cmd/mtlint -analyzers`).
+# Project-specific static analysis (see DESIGN.md §8 and `go run
+# ./cmd/mtlint -analyzers`): hotpath, probeguard, determinism, stdlibonly
+# plus the concurrency suite — lockguard, leakcheck, atomiccheck — and
+# the stale-suppression audit. The second run is the shared-state census
+# over the serving tier: any shared struct field there with no provable
+# guard fails the build.
 lint:
 	$(GO) run ./cmd/mtlint ./...
+	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/cluster ./internal/obs
+
+# Race tier: the serving, cluster and telemetry suites under the race
+# detector. -short trims the chaos matrix to one scenario so the tier
+# stays CI-sized; `make verify` still runs everything under -race at
+# full length.
+racecheck:
+	$(GO) test -race -short ./internal/serve/... ./cmd/mtserve ./internal/cluster ./internal/obs
 
 verify: faultcheck servecheck clustercheck tracecheck
 	$(GO) vet ./...
 	$(GO) run ./cmd/mtlint ./...
+	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/cluster ./internal/obs
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test -race -timeout 30m ./...

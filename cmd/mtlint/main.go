@@ -2,22 +2,36 @@
 // its packages: hotpath (annotated fast-engine functions must not
 // allocate), probeguard (obs.Probe calls must be nil-guarded),
 // determinism (no wall clock or global rand in simulation packages, no
-// map-ordered output in report packages) and stdlibonly (no third-party
-// imports). It is the compile-time half of the invariants the test suite
-// asserts at runtime.
+// map-ordered output in report packages), stdlibonly (no third-party
+// imports), and the concurrency suite — lockguard (no blocking while a
+// mutex is held, no leaked locks, consistent acquisition order),
+// leakcheck (every goroutine has a provable stop path) and atomiccheck
+// (no mixing sync/atomic with plain access). It is the compile-time half
+// of the invariants the test suite asserts at runtime.
 //
 // Usage:
 //
-//	mtlint [-json] [packages...]
+//	mtlint [-json|-sarif] [-census] [packages...]
 //
 // Packages default to ./... (every package under the module root,
 // excluding testdata). Diagnostics print one per line as
 //
 //	file:line: [analyzer] message
 //
+// A full-registry run also audits suppression directives: any
+// //mtlint:allow or //mtlint:oneshot that suppressed nothing is reported
+// as [suppressaudit].
+//
+// -sarif emits SARIF 2.1.0 instead of text/JSON, for CI upload to code
+// scanning. -census skips the analyzers and prints the shared-state
+// census instead: every struct field reachable from more than one
+// concurrency root and what guards it (mutex, atomic, channel,
+// immutable, sync, an annotation, or NOTHING — the latter an error).
+//
 // Exit codes follow the repo's usage-vs-runtime convention: 0 for a clean
-// tree, 1 when any diagnostic is reported, 2 for usage or load errors
-// (unknown flags, unresolvable patterns, packages that do not type-check).
+// tree, 1 when any diagnostic (or unguarded census entry) is reported, 2
+// for usage or load errors (unknown flags, unresolvable patterns,
+// packages that do not type-check).
 package main
 
 import (
@@ -48,9 +62,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mtlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 (for CI code-scanning upload)")
+	census := fs.Bool("census", false, "print the shared-state census instead of running analyzers; exit 1 on any unguarded shared field")
 	listOnly := fs.Bool("analyzers", false, "list registered analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mtlint [-json] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: mtlint [-json|-sarif] [-census] [packages...]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -98,8 +114,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := lint.Run(pkgs, lint.All(), loader.ModulePath)
-	if *jsonOut {
+	if *census {
+		entries := lint.CensusReport(pkgs)
+		fmt.Fprint(stdout, lint.FormatCensus(entries))
+		unsafe := 0
+		for _, e := range entries {
+			if e.Unsafe() {
+				unsafe++
+			}
+		}
+		if unsafe > 0 {
+			fmt.Fprintf(stderr, "mtlint: %d unguarded shared field(s)\n", unsafe)
+			return 1
+		}
+		return 0
+	}
+
+	// The full registry always runs, so the suppression audit is sound:
+	// a directive no analyzer needed is genuinely stale.
+	diags := lint.RunFull(pkgs, lint.All(), loader.ModulePath)
+	if *sarifOut {
+		if err := lint.WriteSARIF(stdout, diags, root); err != nil {
+			fmt.Fprintf(stderr, "mtlint: %v\n", err)
+			return 2
+		}
+	} else if *jsonOut {
 		out := make([]jsonDiagnostic, 0, len(diags))
 		for _, d := range diags {
 			out = append(out, jsonDiagnostic{

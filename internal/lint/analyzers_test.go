@@ -52,6 +52,18 @@ func TestStdlibOnlyFixture(t *testing.T) {
 	linttest.Run(t, lint.StdlibOnly, "stdlibonly/a")
 }
 
+func TestLockguardFixture(t *testing.T) {
+	linttest.Run(t, lint.Lockguard, "lockguard/a")
+}
+
+func TestLeakcheckFixture(t *testing.T) {
+	linttest.Run(t, lint.Leakcheck, "leakcheck/a")
+}
+
+func TestAtomiccheckFixture(t *testing.T) {
+	linttest.Run(t, lint.Atomiccheck, "atomiccheck/a")
+}
+
 // TestRegistry locks the analyzer catalog: names are unique, resolvable
 // through ByName, and documented.
 func TestRegistry(t *testing.T) {
@@ -69,7 +81,7 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("ByName(%q) = %v, %v; want the registered analyzer", a.Name, got, ok)
 		}
 	}
-	for _, name := range []string{"hotpath", "probeguard", "determinism", "stdlibonly"} {
+	for _, name := range []string{"hotpath", "probeguard", "determinism", "stdlibonly", "lockguard", "leakcheck", "atomiccheck"} {
 		if _, ok := lint.ByName(name); !ok {
 			t.Errorf("registry is missing %q", name)
 		}

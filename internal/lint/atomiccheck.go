@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomiccheck enforces all-or-nothing atomicity per field. A struct
+// field that is ever accessed through sync/atomic (atomic.AddInt64,
+// atomic.LoadUint32, ...) must never be read or written plainly
+// anywhere else in the package: the plain access races with the atomic
+// ones, and the race detector only catches it when both sides actually
+// collide at runtime. Fields of the modern atomic.* wrapper types
+// (atomic.Bool, atomic.Int64, atomic.Value, ...) are checked the
+// complementary way: they must only be used through their method set —
+// assigning or copying the wrapper bypasses the atomicity it exists to
+// provide.
+var Atomiccheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "a field touched via sync/atomic must never be read/written plainly elsewhere",
+	Run:  runAtomiccheck,
+}
+
+func runAtomiccheck(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: fields whose address is taken by a sync/atomic call.
+	atomicFields := make(map[string]token.Pos) // field key -> first atomic use
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if key := fieldKey(info, sel); key != "" {
+					if _, seen := atomicFields[key]; !seen {
+						atomicFields[key] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain accesses to those fields, and by-value uses of
+	// atomic.* wrapper fields.
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key := fieldKey(info, sel)
+			if key == "" {
+				return true
+			}
+			if pos, isAtomic := atomicFields[key]; isAtomic {
+				if !isAtomicOperand(info, stack) {
+					pass.Reportf(sel.Pos(), "%s is accessed atomically (%s) but read/written plainly here",
+						types.ExprString(sel), pass.Pkg.Fset.Position(pos))
+				}
+				return true
+			}
+			if isAtomicWrapperType(info.TypeOf(sel)) && !isWrapperMethodUse(stack) {
+				pass.Reportf(sel.Pos(), "atomic field %s used by value; assigning or copying it bypasses its atomic API",
+					types.ExprString(sel))
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call is a sync/atomic package function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldKey returns the (named struct type, field) identity of a field
+// selection, or "" when sel is not a struct field access.
+func fieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name
+}
+
+// isAtomicOperand reports whether the innermost ancestors are
+// `&field` passed directly to a sync/atomic call.
+func isAtomicOperand(info *types.Info, stack []ast.Node) bool {
+	// stack is outermost-first; walk from the selector outward, skipping
+	// parens.
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	u, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	for i--; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	return ok && isAtomicCall(info, call)
+}
+
+// isAtomicWrapperType reports whether t is one of sync/atomic's wrapper
+// types (atomic.Bool, atomic.Int32/64, atomic.Uint32/64, atomic.Uintptr,
+// atomic.Pointer[T], atomic.Value). A *pointer* to a wrapper is not a
+// wrapper: copying the pointer preserves atomicity.
+func isAtomicWrapperType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isWrapperMethodUse reports whether the selector's parent is a method
+// selection (s.flag.Store) or an address-of (&s.flag) — the legitimate
+// ways to touch an atomic wrapper field.
+func isWrapperMethodUse(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SelectorExpr:
+			// s.flag.Store(...): the wrapper selector is the X of a method
+			// selector.
+			return true
+		case *ast.UnaryExpr:
+			return stack[i].(*ast.UnaryExpr).Op == token.AND
+		default:
+			return false
+		}
+	}
+	return false
+}

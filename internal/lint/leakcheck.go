@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Leakcheck enforces that every goroutine has a provable stop path. For
+// each `go` statement it resolves the spawned body (a function literal,
+// or a same-package function/method) and inspects its unconditional
+// loops (`for { ... }` with no condition):
+//
+//   - a loop with no return and no loop-exiting break can never stop —
+//     always an error;
+//   - a loop whose exits are all guarded by purely local computation has
+//     no *provable* stop path: at least one exit must consult the
+//     outside world — a channel receive (done channel, ctx.Done()), a
+//     call, or a field read, directly in the guarding condition or
+//     through a local variable assigned from one inside the loop (the
+//     `t, ok := q.Pop(); if !ok { return }` worker idiom).
+//
+// Conditional loops (`for cond`), counted loops, and range loops are
+// treated as terminating: their condition or sequence is itself the stop
+// path (a range over a channel stops when the channel is closed).
+// Loop-free goroutine bodies are one-shots by construction.
+//
+// A goroutine that is intentionally run-to-completion but trips the
+// heuristic can be annotated with `//mtlint:oneshot [-- reason]` on the
+// `go` statement's line or the line above, or in the doc comment of the
+// named function it spawns. Unused oneshot annotations are reported by
+// the suppression audit (see RunFull).
+var Leakcheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "require a provable stop path (channel/context/external state) for every spawned goroutine loop",
+	Run:  runLeakcheck,
+}
+
+// oneshotDirective is the annotation marking a goroutine as deliberately
+// run-to-completion.
+const oneshotDirective = "//mtlint:oneshot"
+
+func runLeakcheck(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Index this package's function declarations by object so `go s.worker()`
+	// resolves to worker's body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	// Oneshot directive comments by (file, line).
+	oneshots := make(map[allowKey]token.Pos)
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isDirective(c.Text, oneshotDirective) {
+					pos := pass.Pkg.Fset.Position(c.Pos())
+					oneshots[allowKey{pos.Filename, pos.Line}] = c.Pos()
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// Oneshot annotations on the go statement's line, the line
+			// above, or the spawned function's doc comment.
+			gpos := pass.Pkg.Fset.Position(gs.Pos())
+			var annots []token.Pos
+			for _, line := range [2]int{gpos.Line, gpos.Line - 1} {
+				if cpos, ok := oneshots[allowKey{gpos.Filename, line}]; ok {
+					annots = append(annots, cpos)
+				}
+			}
+			body, doc := goTargetBody(info, decls, gs)
+			if doc != nil && hasDirective(doc, oneshotDirective) {
+				for _, c := range doc.List {
+					if isDirective(c.Text, oneshotDirective) {
+						annots = append(annots, c.Pos())
+					}
+				}
+			}
+			if body == nil {
+				// Cross-package or dynamic target: out of scope; trust any
+				// annotation rather than call it stale.
+				for _, p := range annots {
+					pass.markDirectiveUsed(p)
+				}
+				return true
+			}
+			if len(annots) > 0 {
+				// The annotation is "used" only if it suppresses a real
+				// finding; otherwise the suppression audit flags it as stale.
+				scratch := pass.scratch()
+				checkGoroutineBody(scratch, body)
+				if len(*scratch.diags) > 0 {
+					for _, p := range annots {
+						pass.markDirectiveUsed(p)
+					}
+				}
+				return true
+			}
+			checkGoroutineBody(pass, body)
+			return true
+		})
+	}
+}
+
+// isDirective reports whether a comment is exactly the directive or the
+// directive followed by arguments/reason.
+func isDirective(text, directive string) bool {
+	if text == directive {
+		return true
+	}
+	return len(text) > len(directive) && text[:len(directive)] == directive &&
+		(text[len(directive)] == ' ' || text[len(directive)] == '\t')
+}
+
+// goTargetBody resolves the body the go statement spawns: an inline
+// function literal, or the declaration of a same-package function or
+// method. Returns nil for anything it cannot see (cross-package callee,
+// function value, interface method).
+func goTargetBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) (*ast.BlockStmt, *ast.CommentGroup) {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, nil
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			if fd, ok := decls[fn]; ok {
+				return fd.Body, fd.Doc
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if fd, ok := decls[fn]; ok {
+				return fd.Body, fd.Doc
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkGoroutineBody flags unconditional loops in the spawned body that
+// lack a provable stop path. Nested function literals are skipped: they
+// run in their own goroutine (covered by their own `go` statement) or
+// synchronously inside this loop's iterations.
+func checkGoroutineBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		exits := loopExits(loop)
+		if len(exits) == 0 {
+			pass.Reportf(loop.For, "goroutine loop has no exit path; it can never stop (add a done-channel/context case, or annotate the go statement //mtlint:oneshot)")
+			return true
+		}
+		tainted := taintedLocals(pass.Pkg.Info, loop)
+		for _, e := range exits {
+			if exitConsultsOutside(pass.Pkg.Info, e, tainted) {
+				return true
+			}
+		}
+		pass.Reportf(loop.For, "goroutine loop has no provable stop path: no exit consults a channel, context, or external state (or annotate the go statement //mtlint:oneshot)")
+		return true
+	})
+}
+
+// loopExit is one statement that leaves the loop, with the stack of
+// ancestors between the loop body and the statement.
+type loopExit struct {
+	stmt  ast.Stmt
+	stack []ast.Node
+}
+
+// loopExits collects the return statements and loop-exiting breaks
+// inside loop (not crossing into nested function literals).
+func loopExits(loop *ast.ForStmt) []loopExit {
+	var exits []loopExit
+	walkStack(loop.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exits = append(exits, loopExit{n, append([]ast.Node(nil), stack...)})
+		case *ast.BranchStmt:
+			if n.Tok != token.BREAK {
+				return true
+			}
+			if n.Label != nil {
+				// A labeled break targets this loop or an outer one; either
+				// way it leaves this loop. Count it as an exit.
+				exits = append(exits, loopExit{n, append([]ast.Node(nil), stack...)})
+				return true
+			}
+			// Unlabeled break binds to the innermost for/range/switch/select;
+			// it exits our loop only if none of those sit between.
+			for i := len(stack) - 1; i >= 0; i-- {
+				switch stack[i].(type) {
+				case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+					return true
+				}
+			}
+			exits = append(exits, loopExit{n, append([]ast.Node(nil), stack...)})
+		}
+		return true
+	})
+	return exits
+}
+
+// taintedLocals returns the objects of local variables assigned inside
+// the loop from expressions that touch the outside world (a call, a
+// field/selector read, or a channel receive). An exit guarded by such a
+// variable is consulting external state one step removed.
+func taintedLocals(info *types.Info, loop *ast.ForStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		rhsExternal := false
+		for _, r := range as.Rhs {
+			if exprTouchesOutside(r) {
+				rhsExternal = true
+				break
+			}
+		}
+		if !rhsExternal {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					tainted[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// exprTouchesOutside reports whether the expression contains a call, a
+// selector, or a channel receive.
+func exprTouchesOutside(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr, *ast.SelectorExpr:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exitConsultsOutside reports whether the exit's guarding path consults
+// external state: an enclosing select case that receives from a channel,
+// or an enclosing if/switch condition containing a call, selector,
+// receive, or tainted local.
+func exitConsultsOutside(info *types.Info, e loopExit, tainted map[types.Object]bool) bool {
+	consults := func(x ast.Expr) bool {
+		if x == nil {
+			return false
+		}
+		if exprTouchesOutside(x) {
+			return true
+		}
+		used := false
+		ast.Inspect(x, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && tainted[obj] {
+					used = true
+				}
+			}
+			return !used
+		})
+		return used
+	}
+	guarded := false
+	for i, anc := range e.stack {
+		switch anc := anc.(type) {
+		case *ast.CommClause:
+			// A select arm: receiving comm (case <-ch, case v := <-ch, or
+			// case v, ok := <-ch) consults a channel by construction.
+			if anc.Comm != nil {
+				return true
+			}
+		case *ast.IfStmt:
+			// Only the taken-branch relationship matters: the exit must be
+			// inside the if's body/else, not its init.
+			if consults(anc.Cond) {
+				return true
+			}
+			guarded = true
+		case *ast.SwitchStmt:
+			if consults(anc.Tag) {
+				return true
+			}
+			if cc, ok := childCaseClause(e.stack, i); ok {
+				for _, x := range cc.List {
+					if consults(x) {
+						return true
+					}
+				}
+			}
+			guarded = true
+		case *ast.TypeSwitchStmt:
+			guarded = true
+		}
+	}
+	// An exit with no guard at all runs on the first iteration: the loop
+	// terminates trivially.
+	return !guarded
+}
+
+// childCaseClause finds the CaseClause immediately under stack[i] on the
+// path to the exit.
+func childCaseClause(stack []ast.Node, i int) (*ast.CaseClause, bool) {
+	for j := i + 1; j < len(stack); j++ {
+		if cc, ok := stack[j].(*ast.CaseClause); ok {
+			return cc, true
+		}
+	}
+	return nil, false
+}

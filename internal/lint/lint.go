@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding.
@@ -70,6 +72,48 @@ type Pass struct {
 	Module string
 
 	diags *[]Diagnostic
+	used  *directiveTracker
+}
+
+// markDirectiveUsed records that the suppression directive at pos (a
+// comment position) suppressed a real finding; RunFull's audit flags the
+// directives never marked.
+func (p *Pass) markDirectiveUsed(pos token.Pos) {
+	if p.used == nil {
+		return
+	}
+	position := p.Pkg.Fset.Position(pos)
+	p.used.mark(allowKey{position.Filename, position.Line})
+}
+
+// scratch returns a throwaway pass over the same package whose
+// diagnostics are captured privately — used by analyzers that need to
+// know whether a check *would* fire without reporting it.
+func (p *Pass) scratch() *Pass {
+	return &Pass{Analyzer: p.Analyzer, Pkg: p.Pkg, Module: p.Module, diags: new([]Diagnostic)}
+}
+
+// directiveTracker is the cross-package, goroutine-safe record of which
+// suppression directives did real work during a run.
+type directiveTracker struct {
+	mu  sync.Mutex
+	set map[allowKey]bool
+}
+
+func newDirectiveTracker() *directiveTracker {
+	return &directiveTracker{set: make(map[allowKey]bool)}
+}
+
+func (t *directiveTracker) mark(k allowKey) {
+	t.mu.Lock()
+	t.set[k] = true
+	t.mu.Unlock()
+}
+
+func (t *directiveTracker) isUsed(k allowKey) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.set[k]
 }
 
 // Reportf records a diagnostic at pos.
@@ -83,7 +127,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer registry in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Hotpath, ProbeGuard, Determinism, StdlibOnly}
+	return []*Analyzer{Hotpath, ProbeGuard, Determinism, StdlibOnly, Lockguard, Leakcheck, Atomiccheck}
 }
 
 // ByName returns the registered analyzer with the given name.
@@ -98,21 +142,89 @@ func ByName(name string) (*Analyzer, bool) {
 
 // Run executes the analyzers over the packages, filters findings through
 // `//mtlint:allow` directives, and returns them sorted by position.
+// Packages are analyzed in parallel (bounded by GOMAXPROCS); the sort
+// makes the output order independent of scheduling.
 func Run(pkgs []*Package, analyzers []*Analyzer, module string) []Diagnostic {
-	var diags []Diagnostic
+	diags, _ := run(pkgs, analyzers, module)
+	return diags
+}
+
+// RunFull is Run plus the suppression audit: every `//mtlint:allow` or
+// `//mtlint:oneshot` directive that suppressed nothing this run is
+// reported under the pseudo-analyzer name "suppressaudit", so stale
+// escape hatches surface instead of rotting. Only call it with the full
+// analyzer registry — with a subset, directives for the analyzers not
+// running would be misreported as stale.
+func RunFull(pkgs []*Package, analyzers []*Analyzer, module string) []Diagnostic {
+	diags, used := run(pkgs, analyzers, module)
 	for _, pkg := range pkgs {
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, Module: module, diags: &raw})
-		}
-		allow := collectAllows(pkg)
-		for _, d := range raw {
-			if allow.suppresses(d) {
-				continue
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					var kind string
+					switch {
+					case strings.HasPrefix(c.Text, "//mtlint:allow"):
+						kind = "//mtlint:allow"
+					case isDirective(c.Text, oneshotDirective):
+						kind = oneshotDirective
+					default:
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if used.isUsed(allowKey{pos.Filename, pos.Line}) {
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "suppressaudit",
+						Message:  fmt.Sprintf("unused %s directive: it suppresses nothing and should be removed", kind),
+					})
+				}
 			}
-			diags = append(diags, d)
 		}
 	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// run is the shared engine behind Run and RunFull.
+func run(pkgs []*Package, analyzers []*Analyzer, module string) ([]Diagnostic, *directiveTracker) {
+	used := newDirectiveTracker()
+	results := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var raw []Diagnostic
+			for _, a := range analyzers {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, Module: module, diags: &raw, used: used})
+			}
+			allow := collectAllows(pkg)
+			var kept []Diagnostic
+			for _, d := range raw {
+				if allow.suppresses(d, used) {
+					continue
+				}
+				kept = append(kept, d)
+			}
+			results[i] = kept
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r...)
+	}
+	sortDiagnostics(diags)
+	return diags, used
+}
+
+// sortDiagnostics orders findings by (file, line, column, analyzer).
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -126,7 +238,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer, module string) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // allowKey identifies one line of one file.
@@ -139,10 +250,15 @@ type allowKey struct {
 type allowSet map[allowKey]map[string]bool
 
 // suppresses reports whether d is covered by an allow directive on its own
-// line or the line directly above.
-func (s allowSet) suppresses(d Diagnostic) bool {
+// line or the line directly above, marking the directive used in the
+// tracker when it is.
+func (s allowSet) suppresses(d Diagnostic, used *directiveTracker) bool {
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if names := s[allowKey{d.Pos.Filename, line}]; names[d.Analyzer] || names["all"] {
+		key := allowKey{d.Pos.Filename, line}
+		if names := s[key]; names[d.Analyzer] || names["all"] {
+			if used != nil {
+				used.mark(key)
+			}
 			return true
 		}
 	}

@@ -187,6 +187,25 @@ func parseWant(text string) ([]*regexp.Regexp, error) {
 	return patterns, nil
 }
 
+// Load loads packages with the shared loader and returns them — for
+// tests that run non-analyzer passes (the shared-state census) or RunFull
+// directly. Fixture type errors fail the test.
+func Load(t *testing.T, pkgPaths ...string) ([]*lint.Package, *lint.Loader) {
+	t.Helper()
+	root := ModuleRoot(t)
+	loader := sharedLoader(t, root)
+	pkgs, err := loader.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", pkgPaths, err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.Errors {
+			t.Errorf("linttest: type error in %s: %v", pkg.Path, terr)
+		}
+	}
+	return pkgs, loader
+}
+
 // Diagnostics loads pkgPath with the shared loader and returns the raw
 // diagnostics of the given analyzers — for tests that assert on findings
 // directly (e.g. the hot-path cross-check against the real engine

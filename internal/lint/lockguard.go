@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockguard checks mutex discipline in three ways, all built on the
+// lockset interpreter in sync.go:
+//
+//  1. Blocking while locked: a channel send/receive outside a
+//     select-with-default, a select with no default, a range over a
+//     channel, time.Sleep, sync.WaitGroup.Wait, or a call into net /
+//     net/http while any sync.Mutex/RWMutex is held stalls every other
+//     goroutine contending for that lock. sync.Cond.Wait is exempt — it
+//     releases the mutex while waiting.
+//
+//  2. Missing unlock: a return path (or fall-off-the-end) on which an
+//     acquired lock is still held with no `defer x.Unlock()` in effect.
+//     Re-acquiring a lock already held by the same expression is also
+//     flagged (guaranteed self-deadlock for sync.Mutex).
+//
+//  3. Inconsistent acquisition order: if one code path acquires lock A
+//     then B (directly, or B transitively through a same-package call
+//     made while A is held) and another path acquires B then A, the two
+//     paths deadlock under contention. Locks are identified by
+//     (struct type, field name), so the check is instance-insensitive
+//     and spans the whole package.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "flag blocking ops under a held mutex, unlock-less return paths, and inconsistent lock order",
+	Run:  runLockguard,
+}
+
+// orderEdge is one observed "from acquired before to" fact.
+type orderEdge struct {
+	from, to string
+}
+
+// callSite is a call made while locks were held, expanded into order
+// edges once callee summaries are known.
+type callSite struct {
+	callee *types.Func
+	held   []string // type-level keys held at the call
+	pos    token.Pos
+}
+
+func runLockguard(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Per-function facts for the order analysis.
+	type funcFacts struct {
+		acquires map[string]bool // keys acquired anywhere in the body
+		calls    []*types.Func   // same-package callees
+	}
+	facts := make(map[*types.Func]*funcFacts)
+	edges := make(map[orderEdge]token.Pos) // first-seen position per edge
+	var sites []callSite
+
+	addEdge := func(e orderEdge, pos token.Pos) {
+		if e.from == "" || e.to == "" || e.from == e.to {
+			return
+		}
+		if old, ok := edges[e]; !ok || pos < old {
+			edges[e] = pos
+		}
+	}
+
+	// analyzeBody walks one function body. fn is the function's object
+	// when it has one (FuncDecl); literals pass nil and contribute edges
+	// but no summary.
+	var analyzeBody func(fn *types.Func, body *ast.BlockStmt)
+	analyzeBody = func(fn *types.Func, body *ast.BlockStmt) {
+		var ff *funcFacts
+		if fn != nil {
+			ff = &funcFacts{acquires: make(map[string]bool)}
+			facts[fn] = ff
+		}
+		var lits []*ast.FuncLit
+		walkFuncBody(info, body, lockCallbacks{
+			onAcquire: func(id lockIdent, pos token.Pos, heldBefore []heldLock) {
+				if ff != nil {
+					ff.acquires[id.key] = true
+				}
+				for _, h := range heldBefore {
+					if h.id.expr == id.expr {
+						pass.Reportf(pos, "%s acquired again while already held (self-deadlock)", id.expr)
+					}
+					addEdge(orderEdge{h.id.key, id.key}, pos)
+				}
+			},
+			onReturn: func(pos token.Pos, leaked []heldLock) {
+				for _, h := range leaked {
+					pass.Reportf(pos, "return path leaves %s locked (no unlock or defer on this path)", h.id.expr)
+				}
+			},
+			onBlocking: func(desc string, pos token.Pos, held []heldLock) {
+				pass.Reportf(pos, "%s blocks while %s is held", desc, describeHeld(held))
+			},
+			onCall: func(call *ast.CallExpr, held []heldLock) {
+				callee := calleeFunc(info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != pass.Pkg.Path {
+					return
+				}
+				if ff != nil {
+					ff.calls = append(ff.calls, callee)
+				}
+				if len(held) > 0 {
+					keys := make([]string, 0, len(held))
+					for _, h := range held {
+						if h.id.key != "" {
+							keys = append(keys, h.id.key)
+						}
+					}
+					if len(keys) > 0 {
+						sites = append(sites, callSite{callee: callee, held: keys, pos: call.Pos()})
+					}
+				}
+			},
+			onFuncLit: func(lit *ast.FuncLit) { lits = append(lits, lit) },
+		})
+		for _, lit := range lits {
+			analyzeBody(nil, lit.Body)
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			analyzeBody(fn, fd.Body)
+		}
+	}
+
+	// Transitive acquire summaries: fixpoint over the package call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range facts {
+			for _, callee := range ff.calls {
+				cf, ok := facts[callee]
+				if !ok {
+					continue
+				}
+				for k := range cf.acquires {
+					if !ff.acquires[k] {
+						ff.acquires[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Expand held-across-call sites into order edges via callee summaries.
+	for _, s := range sites {
+		cf, ok := facts[s.callee]
+		if !ok {
+			continue
+		}
+		for acq := range cf.acquires {
+			for _, heldKey := range s.held {
+				addEdge(orderEdge{heldKey, acq}, s.pos)
+			}
+		}
+	}
+
+	// Report each inverted pair once per direction, at the acquisition
+	// site that establishes it.
+	for e, pos := range edges {
+		rev := orderEdge{e.to, e.from}
+		revPos, ok := edges[rev]
+		if !ok {
+			continue
+		}
+		pass.Reportf(pos, "inconsistent lock order: %s acquired before %s here, but the reverse order occurs at %s",
+			shortLockKey(e.from), shortLockKey(e.to), pass.Pkg.Fset.Position(revPos))
+	}
+}
+
+// calleeFunc resolves a call expression's static callee, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// shortLockKey trims a type-level lock key ("pkg/path.Type.field") to its
+// readable tail ("Type.field").
+func shortLockKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	if i := strings.Index(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

@@ -1,0 +1,131 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestWriteSARIF pins the SARIF 2.1.0 subset GitHub code scanning
+// consumes: schema/version headers, root-relative slash paths, one rule
+// per distinct analyzer (sorted), and error-level results with regions.
+func TestWriteSARIF(t *testing.T) {
+	root := filepath.Join("/", "work", "repo")
+	diags := []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "serve", "serve.go"), Line: 42, Column: 7},
+			Analyzer: "lockguard",
+			Message:  "blocking channel receive while s.mu is held",
+		},
+		{
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "obs", "bus.go"), Line: 9, Column: 1},
+			Analyzer: "leakcheck",
+			Message:  "goroutine has no provable stop path",
+		},
+		{
+			Pos:      token.Position{Filename: filepath.Join("/", "elsewhere", "x.go"), Line: 1, Column: 1},
+			Analyzer: "lockguard",
+			Message:  "outside the root: path must stay absolute",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, diags, root); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("WriteSARIF produced invalid JSON: %v\n%s", err, buf.String())
+	}
+
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version %q, schema %q; want SARIF 2.1.0 with a schema URI", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mtlint" {
+		t.Errorf("driver name %q, want mtlint", run.Tool.Driver.Name)
+	}
+
+	// One rule per distinct analyzer, sorted by ID, each documented.
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2 (leakcheck, lockguard): %+v", len(run.Tool.Driver.Rules), run.Tool.Driver.Rules)
+	}
+	if run.Tool.Driver.Rules[0].ID != "leakcheck" || run.Tool.Driver.Rules[1].ID != "lockguard" {
+		t.Errorf("rules not sorted by id: %q, %q", run.Tool.Driver.Rules[0].ID, run.Tool.Driver.Rules[1].ID)
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+	}
+
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "lockguard" || first.Level != "error" {
+		t.Errorf("result 0: ruleId %q level %q, want lockguard/error", first.RuleID, first.Level)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/serve/serve.go" {
+		t.Errorf("in-root path not made root-relative with slashes: %q", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region %+v, want 42:7", loc.Region)
+	}
+	outURI := run.Results[2].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if outURI != "/elsewhere/x.go" {
+		t.Errorf("out-of-root path mangled: %q", outURI)
+	}
+
+	// Determinism: a second render is byte-identical.
+	var again bytes.Buffer
+	if err := lint.WriteSARIF(&again, diags, root); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteSARIF output differs between identical calls")
+	}
+}

@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestSuppressionAudit pins RunFull's stale-directive audit on a fixture
+// with one used and one stale instance of each directive kind: only the
+// stale //mtlint:allow and //mtlint:oneshot may be reported, and both
+// must be.
+func TestSuppressionAudit(t *testing.T) {
+	pkgs, loader := linttest.Load(t, "suppress/a")
+	diags := lint.RunFull(pkgs, lint.All(), loader.ModulePath)
+
+	var audit []lint.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer != "suppressaudit" {
+			t.Errorf("unexpected non-audit diagnostic escaped suppression: %s", d)
+			continue
+		}
+		audit = append(audit, d)
+	}
+	if len(audit) != 2 {
+		t.Fatalf("audit reported %d stale directives, want 2: %v", len(audit), audit)
+	}
+	// Sorted by position: the stale allow (in cold) precedes the stale
+	// oneshot (in pump).
+	if !strings.Contains(audit[0].Message, "//mtlint:allow") {
+		t.Errorf("first audit finding should be the stale allow, got: %s", audit[0])
+	}
+	if !strings.Contains(audit[1].Message, "//mtlint:oneshot") {
+		t.Errorf("second audit finding should be the stale oneshot, got: %s", audit[1])
+	}
+	for _, d := range audit {
+		if !strings.Contains(d.Message, "suppresses nothing") {
+			t.Errorf("audit message should say the directive suppresses nothing: %s", d)
+		}
+	}
+}

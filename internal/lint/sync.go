@@ -1,0 +1,707 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lockset tracking shared by the lockguard analyzer and the census: a
+// small abstract interpreter over function bodies that models
+// sync.Mutex/RWMutex acquisition, release, and defer, and reports which
+// locks are held at every visited node. It is intra-procedural and
+// branch-aware but loop-insensitive: if/else and switch/select arms are
+// walked with forked states and merged by intersection (a lock is "held"
+// after a join only when every surviving arm holds it), loop bodies are
+// walked once with the entry state. That is exact for the repo's
+// straight-line lock...unlock idiom and conservative everywhere else.
+
+// lockMode distinguishes exclusive from shared acquisition.
+type lockMode uint8
+
+const (
+	lockExcl lockMode = iota // Lock / Unlock
+	lockRead                 // RLock / RUnlock
+)
+
+// lockIdent names one mutex abstractly.
+type lockIdent struct {
+	// expr is the rendered owner expression inside one function ("s.mu",
+	// "q.nonEmpty.L") — the intra-procedural identity.
+	expr string
+	// key is the type-level identity used for cross-function
+	// acquisition-order facts: "pkg/path.Struct.field" for struct fields,
+	// "pkg/path.var" for package-level mutexes, "" when unresolvable.
+	key string
+	// mode is how the lock was acquired.
+	mode lockMode
+}
+
+// heldLock is one acquired lock in the abstract state.
+type heldLock struct {
+	id  lockIdent
+	pos token.Pos // acquisition site
+	// deferred is set once a matching `defer x.Unlock()` is seen: the lock
+	// is released on every return path from here on.
+	deferred bool
+}
+
+// lockState is the abstract state: held locks in acquisition order.
+type lockState struct {
+	held []heldLock
+	// terminated marks control flow that cannot fall through (return,
+	// panic, break, continue, goto).
+	terminated bool
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make([]heldLock, len(s.held))}
+	copy(c.held, s.held)
+	return c
+}
+
+// acquire appends a lock to the held list.
+func (s *lockState) acquire(id lockIdent, pos token.Pos) {
+	s.held = append(s.held, heldLock{id: id, pos: pos})
+}
+
+// release removes the innermost matching held lock; reports whether one
+// matched.
+func (s *lockState) release(id lockIdent) bool {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].id.expr == id.expr && s.held[i].id.mode == id.mode {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// markDeferred flags the innermost matching held lock as defer-released.
+func (s *lockState) markDeferred(id lockIdent) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].id.expr == id.expr && s.held[i].id.mode == id.mode {
+			s.held[i].deferred = true
+			return
+		}
+	}
+}
+
+// holds reports whether any lock is held (deferred or not).
+func (s *lockState) holds() bool { return len(s.held) > 0 }
+
+// leakedAt returns the held locks whose release is not deferred — the
+// ones a bare return would leak.
+func (s *lockState) leakedAt() []heldLock {
+	var out []heldLock
+	for _, h := range s.held {
+		if !h.deferred {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// intersect merges two post-branch states: a lock survives only if both
+// arms still hold it (matched by expr+mode; deferred flags or-ed so a
+// defer in either arm still counts at returns — conservative toward
+// fewer false missing-unlock reports).
+func intersectStates(a, b *lockState) *lockState {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := &lockState{}
+	for _, ha := range a.held {
+		for _, hb := range b.held {
+			if ha.id.expr == hb.id.expr && ha.id.mode == hb.id.mode {
+				h := ha
+				h.deferred = ha.deferred || hb.deferred
+				out.held = append(out.held, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// lockCallbacks are the events the interpreter reports. Any callback may
+// be nil.
+type lockCallbacks struct {
+	// onAcquire fires when a lock is acquired; heldBefore is the state
+	// before this acquisition (the order-edge source set).
+	onAcquire func(id lockIdent, pos token.Pos, heldBefore []heldLock)
+	// onReleaseMiss fires when an Unlock has no matching held lock in this
+	// function (caller-held idiom; informational, not reported by default).
+	onReleaseMiss func(id lockIdent, pos token.Pos)
+	// onReturn fires at every explicit return and at an implicit
+	// fall-off-the-end of the body; leaked lists held locks with no defer.
+	onReturn func(pos token.Pos, leaked []heldLock)
+	// onBlocking fires for a blocking construct while any lock is held.
+	onBlocking func(desc string, pos token.Pos, held []heldLock)
+	// onCall fires for every function/method call with the current state
+	// (used for transitive acquisition-order edges).
+	onCall func(call *ast.CallExpr, held []heldLock)
+	// onNode fires for every visited expression/statement node with the
+	// current state (used by the census to classify field accesses).
+	onNode func(n ast.Node, held []heldLock)
+	// onFuncLit fires for each function literal encountered; the literal's
+	// body is NOT walked in the enclosing state (it runs later, under its
+	// own locks) — callers analyze it separately.
+	onFuncLit func(lit *ast.FuncLit)
+}
+
+// lockWalker interprets one function body.
+type lockWalker struct {
+	info *types.Info
+	cb   lockCallbacks
+}
+
+// walkFuncBody runs the interpreter over a function body.
+func walkFuncBody(info *types.Info, body *ast.BlockStmt, cb lockCallbacks) {
+	w := &lockWalker{info: info, cb: cb}
+	st := &lockState{}
+	w.block(body, st)
+	if !st.terminated && cb.onReturn != nil {
+		// Falling off the end releases nothing either.
+		cb.onReturn(body.End(), st.leakedAt())
+	}
+}
+
+// mutexOpKind classifies one call as a lock operation.
+type mutexOpKind uint8
+
+const (
+	opNone mutexOpKind = iota
+	opLock
+	opUnlock
+	opRLock
+	opRUnlock
+)
+
+// mutexOp recognizes x.Lock() / x.Unlock() / x.RLock() / x.RUnlock()
+// where the method is declared on sync.Mutex or sync.RWMutex (including
+// promotion through embedding). It returns the op kind and the lock's
+// identity; opNone otherwise.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (mutexOpKind, lockIdent) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, lockIdent{}
+	}
+	obj, ok := w.info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return opNone, lockIdent{}
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return opNone, lockIdent{}
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return opNone, lockIdent{}
+	}
+	tn := named.Obj().Name()
+	if tn != "Mutex" && tn != "RWMutex" {
+		return opNone, lockIdent{}
+	}
+	var kind mutexOpKind
+	var mode lockMode
+	switch sel.Sel.Name {
+	case "Lock":
+		kind, mode = opLock, lockExcl
+	case "Unlock":
+		kind, mode = opUnlock, lockExcl
+	case "RLock":
+		kind, mode = opRLock, lockRead
+	case "RUnlock":
+		kind, mode = opRUnlock, lockRead
+	case "TryLock":
+		// TryLock acquires only conditionally; treating it as an
+		// acquisition would poison every branch after a failed attempt.
+		return opNone, lockIdent{}
+	default:
+		return opNone, lockIdent{}
+	}
+	id := lockIdent{expr: types.ExprString(sel.X), key: w.lockKey(sel.X), mode: mode}
+	return kind, id
+}
+
+// lockKey derives the type-level identity of a lock expression: the
+// owning named struct type plus field name for field selectors, the
+// package-qualified name for plain variables.
+func (w *lockWalker) lockKey(x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := w.info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		// Package-level selector (pkg.someMu).
+		if id, ok := x.X.(*ast.Ident); ok {
+			if pn, ok := w.info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj := w.info.Uses[x]; obj != nil && obj.Pkg() != nil {
+			if _, isPkgLevel := obj.Parent().Lookup(x.Name).(*types.Var); isPkgLevel && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + x.Name
+			}
+		}
+	}
+	return ""
+}
+
+// block interprets a statement list, mutating st in place.
+func (w *lockWalker) block(b *ast.BlockStmt, st *lockState) {
+	for _, s := range b.List {
+		if st.terminated {
+			return
+		}
+		w.stmt(s, st)
+	}
+}
+
+// stmt interprets one statement.
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) {
+	if w.cb.onNode != nil {
+		w.cb.onNode(s, st.held)
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(s, st)
+
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+		if st.holds() && w.cb.onBlocking != nil {
+			w.cb.onBlocking("channel send (no select/default)", s.Arrow, st.held)
+		}
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, st)
+		}
+
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+
+	case *ast.GoStmt:
+		// The spawned body runs under its own locks; leakcheck owns it.
+		w.exprShallow(s.Call, st)
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && w.cb.onFuncLit != nil {
+			w.cb.onFuncLit(lit)
+		}
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, st)
+		}
+		if w.cb.onReturn != nil {
+			w.cb.onReturn(s.Pos(), st.leakedAt())
+		}
+		st.terminated = true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: flow leaves this statement list. We do not
+		// check lock balance across these edges (loop-insensitive).
+		st.terminated = true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		then := st.clone()
+		w.block(s.Body, then)
+		els := st.clone()
+		if s.Else != nil {
+			w.stmt(s.Else, els)
+		}
+		merged := intersectStates(then, els)
+		st.held = merged.held
+		st.terminated = then.terminated && els.terminated
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		body := st.clone()
+		w.block(s.Body, body)
+		if s.Post != nil && !body.terminated {
+			w.stmt(s.Post, body)
+		}
+		// Loop-insensitive: fall through with the entry state.
+
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		if st.holds() && w.cb.onBlocking != nil {
+			if t := w.info.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					w.cb.onBlocking("range over channel", s.For, st.held)
+				}
+			}
+		}
+		body := st.clone()
+		w.block(s.Body, body)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		w.caseClauses(s.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		w.caseClauses(s.Body, st)
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && st.holds() && w.cb.onBlocking != nil {
+			w.cb.onBlocking("select with no default case", s.Select, st.held)
+		}
+		var arms []*lockState
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			arm := st.clone()
+			if cc.Comm != nil {
+				// Comm statements inside a select never block by themselves
+				// (the select does, handled above): visit without the plain
+				// send/recv blocking checks.
+				w.commStmt(cc.Comm, arm)
+			}
+			for _, bs := range cc.Body {
+				if arm.terminated {
+					break
+				}
+				w.stmt(bs, arm)
+			}
+			arms = append(arms, arm)
+		}
+		w.mergeArms(st, arms)
+
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// commStmt visits a select case's communication statement without
+// treating the send/recv itself as blocking.
+func (w *lockWalker) commStmt(s ast.Stmt, st *lockState) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.exprNoRecvCheck(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, st)
+		}
+	case *ast.ExprStmt:
+		w.exprNoRecvCheck(s.X, st)
+	default:
+		w.stmt(s, st)
+	}
+}
+
+// caseClauses walks switch cases with forked states and merges them.
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, st *lockState) {
+	var arms []*lockState
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		arm := st.clone()
+		for _, e := range cc.List {
+			w.expr(e, arm)
+		}
+		for _, bs := range cc.Body {
+			if arm.terminated {
+				break
+			}
+			w.stmt(bs, arm)
+		}
+		arms = append(arms, arm)
+	}
+	if !hasDefault {
+		// Fall-through path when no case matches.
+		arms = append(arms, st.clone())
+	}
+	w.mergeArms(st, arms)
+}
+
+// mergeArms folds forked branch states back into st.
+func (w *lockWalker) mergeArms(st *lockState, arms []*lockState) {
+	if len(arms) == 0 {
+		return
+	}
+	merged := arms[0]
+	allTerminated := arms[0].terminated
+	for _, a := range arms[1:] {
+		merged = intersectStates(merged, a)
+		allTerminated = allTerminated && a.terminated
+	}
+	st.held = merged.held
+	st.terminated = allTerminated
+}
+
+// deferStmt models `defer x.Unlock()` (and a defer'd function literal
+// whose body unlocks) by marking the matching held lock released-on-exit.
+func (w *lockWalker) deferStmt(s *ast.DeferStmt, st *lockState) {
+	switch kind, id := w.mutexOp(s.Call); kind {
+	case opUnlock, opRUnlock:
+		st.markDeferred(id)
+		return
+	case opLock, opRLock:
+		// defer x.Lock() is almost certainly a typo'd unlock; treat as
+		// no-op here (vet territory).
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		// Scan the literal one level deep for unlock calls.
+		for _, bs := range lit.Body.List {
+			if es, ok := bs.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if kind, id := w.mutexOp(call); kind == opUnlock || kind == opRUnlock {
+						st.markDeferred(id)
+					}
+				}
+			}
+		}
+		if w.cb.onFuncLit != nil {
+			w.cb.onFuncLit(lit)
+		}
+		return
+	}
+	// Other defers: evaluate the call expression's operands now (Go
+	// semantics) but the call itself runs at exit; no lock effects.
+	w.exprShallow(s.Call, st)
+}
+
+// expr visits an expression tree in the current state, applying lock
+// operations and blocking checks.
+func (w *lockWalker) expr(e ast.Expr, st *lockState) { w.exprCheck(e, st, true) }
+
+// exprNoRecvCheck visits an expression whose top-level receive op is part
+// of a select comm clause (non-blocking by construction).
+func (w *lockWalker) exprNoRecvCheck(e ast.Expr, st *lockState) {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		w.exprCheck(u.X, st, true)
+		return
+	}
+	w.exprCheck(e, st, true)
+}
+
+// exprShallow visits call arguments without treating the call itself as
+// a lock op (used for go/defer whose call runs elsewhere/later).
+func (w *lockWalker) exprShallow(call *ast.CallExpr, st *lockState) {
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+}
+
+func (w *lockWalker) exprCheck(e ast.Expr, st *lockState, checkRecv bool) {
+	if e == nil {
+		return
+	}
+	if w.cb.onNode != nil {
+		w.cb.onNode(e, st.held)
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			w.expr(a, st)
+		}
+		kind, id := w.mutexOp(e)
+		switch kind {
+		case opLock, opRLock:
+			if w.cb.onAcquire != nil {
+				w.cb.onAcquire(id, e.Pos(), st.held)
+			}
+			st.acquire(id, e.Pos())
+			return
+		case opUnlock, opRUnlock:
+			if !st.release(id) && w.cb.onReleaseMiss != nil {
+				w.cb.onReleaseMiss(id, e.Pos())
+			}
+			return
+		}
+		// Not a lock op: visit the callee expression (selector receivers
+		// may themselves contain calls) and report the call.
+		w.exprCheck(e.Fun, st, false)
+		if w.cb.onCall != nil {
+			w.cb.onCall(e, st.held)
+		}
+		if st.holds() && w.cb.onBlocking != nil {
+			if desc := blockingCallDesc(w.info, e); desc != "" {
+				w.cb.onBlocking(desc, e.Pos(), st.held)
+			}
+		}
+
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			w.expr(e.X, st)
+			if checkRecv && st.holds() && w.cb.onBlocking != nil {
+				w.cb.onBlocking("channel receive (no select/default)", e.Pos(), st.held)
+			}
+			return
+		}
+		w.expr(e.X, st)
+
+	case *ast.FuncLit:
+		if w.cb.onFuncLit != nil {
+			w.cb.onFuncLit(e)
+		}
+		// Body deliberately not walked in this state.
+
+	case *ast.BinaryExpr:
+		w.expr(e.X, st)
+		w.expr(e.Y, st)
+	case *ast.ParenExpr:
+		w.exprCheck(e.X, st, checkRecv)
+	case *ast.SelectorExpr:
+		w.expr(e.X, st)
+	case *ast.IndexExpr:
+		w.expr(e.X, st)
+		w.expr(e.Index, st)
+	case *ast.IndexListExpr:
+		w.expr(e.X, st)
+		for _, i := range e.Indices {
+			w.expr(i, st)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, st)
+		w.expr(e.Low, st)
+		w.expr(e.High, st)
+		w.expr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, st)
+	case *ast.StarExpr:
+		w.expr(e.X, st)
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, st)
+		w.expr(e.Value, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, st)
+		}
+	}
+}
+
+// blockingNetPkgs are the packages whose calls are treated as blocking
+// I/O: holding a mutex across them stalls every other goroutine
+// contending for it for a network round-trip.
+var blockingNetPkgs = map[string]bool{
+	"net":      true,
+	"net/http": true,
+	"net/rpc":  true,
+	"net/smtp": true,
+}
+
+// blockingCallDesc classifies a (non lock-op) call as blocking while a
+// lock is held: time.Sleep, sync.WaitGroup.Wait, and calls into net /
+// net/http. Returns "" for everything else. sync.Cond.Wait is
+// deliberately exempt — it releases the associated mutex while waiting.
+func blockingCallDesc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	pkg := obj.Pkg().Path()
+	sig, _ := obj.Type().(*types.Signature)
+	switch {
+	case pkg == "time" && obj.Name() == "Sleep":
+		return "time.Sleep"
+	case pkg == "sync" && obj.Name() == "Wait":
+		// WaitGroup.Wait blocks holding the lock; Cond.Wait releases it.
+		if sig != nil && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok && named.Obj().Name() == "WaitGroup" {
+				return "sync.WaitGroup.Wait"
+			}
+		}
+		return ""
+	case blockingNetPkgs[pkg]:
+		recvOrPkg := pkg
+		if sig != nil && sig.Recv() != nil {
+			recvOrPkg = types.TypeString(sig.Recv().Type(), nil)
+		}
+		return "network I/O via " + recvOrPkg + "." + obj.Name()
+	}
+	return ""
+}
+
+// describeHeld renders a held-lock list for diagnostics ("s.mu" or
+// "s.mu, q.mu").
+func describeHeld(held []heldLock) string {
+	out := ""
+	for i, h := range held {
+		if i > 0 {
+			out += ", "
+		}
+		out += h.id.expr
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package a exercises the atomiccheck analyzer: a field touched via
+// sync/atomic must never be read or written plainly, and atomic.*
+// wrapper fields must only be used through their method set.
+package a
+
+import "sync/atomic"
+
+type C struct {
+	hits  int64
+	drops int64
+	flag  atomic.Bool
+	n     int64
+}
+
+func (c *C) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *C) load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *C) mixed() int64 {
+	c.hits++      // want `c\.hits is accessed atomically \(.*\) but read/written plainly here`
+	return c.hits // want `c\.hits is accessed atomically \(.*\) but read/written plainly here`
+}
+
+// A field never touched atomically may be used plainly.
+func (c *C) plainOnly() {
+	c.n++
+}
+
+func (c *C) swapDrops(v int64) int64 {
+	return atomic.SwapInt64(&c.drops, v)
+}
+
+func (c *C) readDrops() int64 {
+	return c.drops // want `c\.drops is accessed atomically \(.*\) but read/written plainly here`
+}
+
+func (c *C) flagOK() bool {
+	c.flag.Store(true)
+	return c.flag.Load()
+}
+
+// Taking the wrapper's address is fine (pointer use keeps atomicity).
+func (c *C) flagPtr() *atomic.Bool {
+	return &c.flag
+}
+
+func (c *C) flagBad() {
+	c.flag = atomic.Bool{} // want `atomic field c\.flag used by value`
+}
+
+func (c *C) flagCopy() atomic.Bool {
+	return c.flag // want `atomic field c\.flag used by value`
+}

@@ -1,0 +1,165 @@
+// Package a exercises the leakcheck analyzer: every spawned goroutine
+// with an unconditional loop needs a provable stop path or an explicit
+// //mtlint:oneshot annotation.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+type W struct {
+	stop chan struct{}
+	work chan int
+	n    int
+}
+
+// No exit at all: the loop can never stop.
+func (w *W) spinner() {
+	go func() {
+		for { // want `goroutine loop has no exit path`
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// Exits exist, but none consults anything outside the goroutine.
+func (w *W) localOnly() {
+	go func() {
+		done := false
+		for { // want `goroutine loop has no provable stop path`
+			if done {
+				return
+			}
+		}
+	}()
+}
+
+// Done-channel select: provable.
+func (w *W) doneChannel() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case v := <-w.work:
+				w.n += v
+			}
+		}
+	}()
+}
+
+// Context consulted each iteration: provable.
+func (w *W) ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			w.n++
+		}
+	}()
+}
+
+type queue struct{ ch chan int }
+
+func (q *queue) pop() (int, bool) {
+	v, ok := <-q.ch
+	return v, ok
+}
+
+// Worker idiom: the exit condition reads a local assigned from a call.
+func (w *W) workerIdiom(q *queue) {
+	go func() {
+		for {
+			v, ok := q.pop()
+			if !ok {
+				return
+			}
+			w.n += v
+		}
+	}()
+}
+
+// Conditional loops carry their stop path in the condition.
+func (w *W) condLoop() {
+	go func() {
+		for w.n < 10 {
+			w.n++
+		}
+	}()
+}
+
+// Range over a channel stops when the channel closes.
+func (w *W) drain() {
+	go func() {
+		for v := range w.work {
+			w.n += v
+		}
+	}()
+}
+
+// Break guarded by a field read: provable.
+func (w *W) breakOnField() {
+	go func() {
+		for {
+			if w.n > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// An unguarded return makes the loop terminate on its first iteration.
+func (w *W) runsOnce() {
+	go func() {
+		for {
+			w.n++
+			return
+		}
+	}()
+}
+
+// Loop-free goroutines are one-shots by construction.
+func (w *W) oneshotByConstruction() {
+	go func() {
+		w.work <- 1
+	}()
+}
+
+// The named function spawned by spawnNamed is flagged at its loop.
+func (w *W) loop() {
+	for { // want `goroutine loop has no exit path`
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (w *W) spawnNamed() {
+	go w.loop()
+}
+
+// Annotated spawn: deliberate run-to-completion.
+func (w *W) annotatedSpin() {
+	//mtlint:oneshot -- drains until process exit by design
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// pump runs for the life of the process.
+//
+//mtlint:oneshot -- lifetime equals process lifetime
+func (w *W) pump() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (w *W) spawnPump() {
+	go w.pump()
+}

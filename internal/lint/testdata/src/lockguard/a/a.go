@@ -1,0 +1,208 @@
+// Package a exercises the lockguard analyzer: blocking operations under
+// a held mutex, return paths that leak a lock, self-deadlocks, and
+// inconsistent acquisition order between two mutexes.
+package a
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+	n  int
+}
+
+func (s *S) sleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks while s\.mu is held`
+}
+
+func (s *S) sleepAfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (s *S) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send \(no select/default\) blocks while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) sendWithDefault() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) recvUnderRLock() int {
+	s.rw.RLock()
+	v := <-s.ch // want `channel receive \(no select/default\) blocks while s\.rw is held`
+	s.rw.RUnlock()
+	return v
+}
+
+func (s *S) selectNoDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select with no default case blocks while s\.mu is held`
+	case v := <-s.ch:
+		s.n = v
+	case s.ch <- 2:
+	}
+}
+
+func (s *S) waitGroupUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync\.WaitGroup\.Wait blocks while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) httpUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	http.Get("http://localhost/") // want `network I/O via net/http\.Get blocks while s\.mu is held`
+}
+
+func (s *S) rangeChanUnderLock() {
+	s.mu.Lock()
+	for v := range s.ch { // want `range over channel blocks while s\.mu is held`
+		s.n += v
+	}
+	s.mu.Unlock()
+}
+
+// Cond.Wait releases the associated mutex while waiting: never flagged.
+type condQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []int
+}
+
+func (c *condQueue) pop() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.q) == 0 {
+		c.cond.Wait()
+	}
+	v := c.q[0]
+	c.q = c.q[1:]
+	return v
+}
+
+func (s *S) earlyReturnLeak(b bool) int {
+	s.mu.Lock()
+	if b {
+		return 1 // want `return path leaves s\.mu locked \(no unlock or defer on this path\)`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *S) earlyReturnBalanced(b bool) int {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *S) deferInLiteral() {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+func (s *S) fallsOffEndLocked() {
+	s.mu.Lock()
+	s.n++
+} // want `return path leaves s\.mu locked \(no unlock or defer on this path\)`
+
+func (s *S) doubleAcquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu acquired again while already held \(self-deadlock\)`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// Direct A->B vs B->A inversion.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want `inconsistent lock order: pair\.a acquired before pair\.b here, but the reverse order occurs at`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want `inconsistent lock order: pair\.b acquired before pair\.a here, but the reverse order occurs at`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Transitive inversion: x is held across a call that acquires y, while
+// another path takes y then x directly.
+type T2 struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (t *T2) lockY() {
+	t.y.Lock()
+	t.y.Unlock()
+}
+
+func (t *T2) xThenCallY() {
+	t.x.Lock()
+	t.lockY() // want `inconsistent lock order: T2\.x acquired before T2\.y here, but the reverse order occurs at`
+	t.x.Unlock()
+}
+
+func (t *T2) yThenX() {
+	t.y.Lock()
+	t.x.Lock() // want `inconsistent lock order: T2\.y acquired before T2\.x here, but the reverse order occurs at`
+	t.x.Unlock()
+	t.y.Unlock()
+}
+
+// Consistent nesting is fine in any number of places.
+type nested struct {
+	outer sync.Mutex
+	inner sync.Mutex
+	n     int
+}
+
+func (n *nested) both() {
+	n.outer.Lock()
+	n.inner.Lock()
+	n.n++
+	n.inner.Unlock()
+	n.outer.Unlock()
+}
+
+func (n *nested) bothAgain() {
+	n.outer.Lock()
+	defer n.outer.Unlock()
+	n.inner.Lock()
+	defer n.inner.Unlock()
+	n.n--
+}

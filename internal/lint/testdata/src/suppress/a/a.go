@@ -1,0 +1,48 @@
+// Package a is the suppression-audit fixture: one used and one stale
+// instance of each directive kind. RunFull must flag exactly the stale
+// ones.
+package a
+
+// hot allocates on an annotated hot path; the allow on the allocating
+// line suppresses the finding, so the directive is used.
+//
+//mtlint:hotpath
+func hot() []int {
+	return make([]int, 4) //mtlint:allow hotpath -- fixture: intentionally allocating
+}
+
+// cold is not a hot path and allocates nothing the analyzer minds; its
+// allow directive suppresses nothing and must be flagged as stale.
+func cold() int {
+	return 1 //mtlint:allow hotpath -- fixture: stale on purpose
+}
+
+// spin leaks a goroutine with no exit path; the oneshot suppresses the
+// leakcheck finding, so the directive is used.
+func spin() {
+	//mtlint:oneshot -- fixture: intentional leak
+	go func() {
+		for {
+		}
+	}()
+}
+
+// pump's goroutine has a provable stop path, so its oneshot directive no
+// longer suppresses anything and must be flagged as stale.
+func pump(done chan struct{}) {
+	//mtlint:oneshot -- fixture: stale, the loop already stops
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+var _ = hot
+var _ = cold
+var _ = spin
+var _ = pump

@@ -20,6 +20,12 @@ import (
 // cycles. Every event is recorded, so the tracer is intended for the
 // small runs a human actually wants to look at — attach a Sampler
 // instead for aggregate views of long runs.
+//
+// Like Sampler, a Tracer is single-owner: the goroutine running the
+// engine feeds it and exports it after the run. Not safe for concurrent
+// use.
+//
+//mtlint:guard external -- single-owner: fed and exported by the one goroutine running the engine
 type Tracer struct {
 	meta   RunMeta
 	exec   uint64

@@ -19,6 +19,12 @@ import (
 // multiple of the window width, completion events at that instant land in
 // a zero-width terminal window (Start == End) — the honest encoding of
 // "at the very end".
+//
+// A Sampler is single-owner: the goroutine running the engine feeds it
+// and reads it back only after the run ends. It is not safe for
+// concurrent use.
+//
+//mtlint:guard external -- single-owner: fed and read by the one goroutine running the engine
 type Sampler struct {
 	window uint64
 	meta   RunMeta
@@ -50,7 +56,11 @@ type FaultMark struct {
 const maxFaultMarks = 64
 
 // Sample is one window's aggregated activity. The JSON tags are the SSE
-// stream wire format (GET /v1/jobs/{id}/events "sample" events).
+// stream wire format (GET /v1/jobs/{id}/events "sample" events). Samples
+// are mutated in place only by their owning Sampler; everyone else gets
+// value copies (Samples() returns a fresh slice).
+//
+//mtlint:guard external -- mutated only by the owning Sampler; published as value copies
 type Sample struct {
 	// Start and End bound the window in simulated cycles, [Start, End).
 	Start uint64 `json:"start"`

@@ -155,10 +155,14 @@ type job struct {
 	// trace is the distributed-trace context this job's spans hang off
 	// (zero when telemetry is disabled). Set once before enqueue, read-only
 	// afterwards.
+	//
+	//mtlint:guard external -- written only by the accepting handler before enqueue publishes the job
 	trace obs.SpanContext
 	// span is the job's root span, ended when the job reaches a terminal
 	// state (nil when telemetry is disabled; End is nil-safe). Set with
 	// trace, under the same write-once contract.
+	//
+	//mtlint:guard external -- written only by the accepting handler before enqueue publishes the job
 	span *obs.ActiveSpan
 
 	// cancel is observed by sim.Guard inside running cells; setting it
