@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify lint racecheck bench benchsim benchserve benchcluster fuzz golden faultcheck servecheck clustercheck tracecheck
+.PHONY: build test verify lint racecheck bench benchsim benchserve benchcluster fuzz golden faultcheck servecheck clustercheck tracecheck storecheck
 
 build:
 	$(GO) build ./...
@@ -21,19 +21,19 @@ test:
 # guard fails the build.
 lint:
 	$(GO) run ./cmd/mtlint ./...
-	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/cluster ./internal/obs
+	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/store ./internal/retry ./internal/cluster ./internal/obs
 
-# Race tier: the serving, cluster and telemetry suites under the race
-# detector. -short trims the chaos matrix to one scenario so the tier
-# stays CI-sized; `make verify` still runs everything under -race at
+# Race tier: the serving, durability, cluster and telemetry suites under
+# the race detector. -short trims the chaos matrix to one scenario so the
+# tier stays CI-sized; `make verify` still runs everything under -race at
 # full length.
 racecheck:
-	$(GO) test -race -short ./internal/serve/... ./cmd/mtserve ./internal/cluster ./internal/obs
+	$(GO) test -race -short ./internal/serve/... ./internal/store ./internal/retry ./cmd/mtserve ./internal/cluster ./internal/obs
 
-verify: faultcheck servecheck clustercheck tracecheck
+verify: faultcheck servecheck clustercheck tracecheck storecheck
 	$(GO) vet ./...
 	$(GO) run ./cmd/mtlint ./...
-	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/cluster ./internal/obs
+	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/store ./internal/retry ./internal/cluster ./internal/obs
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test -race -timeout 30m ./...
@@ -90,6 +90,19 @@ faultcheck:
 	$(GO) test ./internal/resilience
 	$(GO) test ./internal/trace -run 'TestMTT2|TestReadRejects|TestWriteFile'
 	$(GO) test ./cmd/experiments -run 'TestKillAndResume|TestResume|TestFreshRun|TestRunDegraded|TestRunStepBudget'
+
+# Durability tier (DESIGN.md "Durable results & delivery"): the MTS1
+# store suite (format goldens, recovery, quarantine, compaction,
+# write-behind), the retry/backoff core, the webhook dispatcher
+# (journaled delivery, breaker, restart resume), the store fault matrix
+# (every corrupting class x offset detected, zero silent), and the
+# kill -9 warm-restart differential against a real subprocess daemon.
+storecheck:
+	$(GO) test ./internal/store ./internal/retry ./internal/serve/webhook
+	$(GO) test ./internal/resilience -run 'TestStoreFaultMatrix|TestStoreQuarantineMatrix|TestStoreTornTail'
+	$(GO) test ./cmd/mtserve -run 'TestKillDashNine'
+	$(GO) test ./internal/serve -run 'TestStoreTier|TestWebhook'
+	$(GO) test ./internal/cluster -run 'TestClusterStore|TestClusterWebhook'
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/placement"
+	"repro/internal/retry"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
 	"repro/internal/sim"
@@ -24,10 +25,17 @@ import (
 // scheduling stays local too (core.Options.DynRunner is untouched).
 func remoteRunner(baseURL string, params workload.Params) func(*trace.Trace, *placement.Placement, sim.Config) (*sim.Result, error) {
 	cl := client.New(baseURL)
-	// Sweeps are patient: ride out queue-full backpressure and restarts
-	// rather than failing a multi-minute sweep on a transient 429.
-	cl.MaxRetries = 240
-	cl.RetryWait = 500 * time.Millisecond
+	// Sweeps are patient: ride out queue-full backpressure (429 +
+	// Retry-After), restarts and proxy flaps through the shared backoff
+	// core rather than failing a multi-minute sweep on a transient
+	// rejection — but cap the total patience, and let the final error
+	// report how many attempts were spent.
+	cl.Policy = retry.Policy{
+		BaseDelay:   250 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		MaxAttempts: 240,
+	}
+	cl.RetryBudget = 2 * time.Minute
 	p := serve.Params{Scale: params.Scale, Seed: params.Seed}
 	return func(tr *trace.Trace, pl *placement.Placement, cfg sim.Config) (*sim.Result, error) {
 		if _, err := workload.ByName(tr.App); err != nil {

@@ -38,6 +38,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/serve/webhook"
+	"repro/internal/store"
 )
 
 func main() {
@@ -53,6 +55,9 @@ func run(args []string) int {
 		chunk   = fs.Int("chunk", 16, "max cells per lease")
 		journal = fs.String("journal", "", "MTJ1 journal path for crash recovery (empty = off)")
 		verbose = fs.Bool("v", false, "verbose logging")
+
+		storeDir       = fs.String("store-dir", "", "durable result store directory: harvested cell results persist across restarts and warm-start resubmitted sweeps (empty = off)")
+		webhookJournal = fs.String("webhook-journal", "", "journal path for webhook delivery state; pending deliveries survive restarts (empty = ephemeral)")
 
 		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 		noTelemetry = fs.Bool("no-telemetry", false, "disable distributed tracing and job-progress streams (histograms stay on)")
@@ -99,14 +104,42 @@ func run(args []string) int {
 		return obs.CodeOK
 	}
 
-	return coordMain(log, *addr, opts)
+	return coordMain(log, *addr, opts, *storeDir, *webhookJournal)
 }
 
 // coordMain runs the coordinator daemon until SIGTERM/SIGINT, then drains.
-func coordMain(log *slog.Logger, addr string, opts cluster.Options) int {
+func coordMain(log *slog.Logger, addr string, opts cluster.Options, storeDir, webhookJournal string) int {
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: storeDir})
+		if err != nil {
+			log.Error(fmt.Sprintf("opening result store: %s", err))
+			return obs.CodeError
+		}
+		opts.Store = st
+		s := st.Stats()
+		log.Info("result store open", "dir", storeDir,
+			"entries", s.Entries, "sealed_segments", s.SealedSegments,
+			"quarantined", s.Quarantined, "truncated_tails", s.TruncatedTails)
+	}
+	wh, err := webhook.New(webhook.Options{JournalPath: webhookJournal})
+	if err != nil {
+		log.Error(fmt.Sprintf("opening webhook dispatcher: %s", err))
+		if st != nil {
+			_ = st.Close()
+		}
+		return obs.CodeError
+	}
+	opts.Webhooks = wh
+
 	coord, err := cluster.New(opts)
 	if err != nil {
 		log.Error(err.Error())
+		_ = wh.Close()
+		if st != nil {
+			_ = st.Close()
+		}
 		return obs.CodeError
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -134,8 +167,19 @@ func coordMain(log *slog.Logger, addr string, opts cluster.Options) int {
 	}
 
 	// Drain order mirrors mtserve: retire in-flight jobs first (pollers
-	// see retriable and will resubmit after restart), then stop listening.
+	// see retriable and will resubmit after restart), persist — flush
+	// and seal the result store, close the webhook journal with pending
+	// deliveries intact — then stop listening.
 	coord.Drain()
+	wh.Flush(2 * time.Second)
+	if err := wh.Close(); err != nil {
+		log.Warn("webhook dispatcher close", "err", err.Error())
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Warn("result store close", "err", err.Error())
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(ctx)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
+	"repro/internal/store"
 )
 
 // loadgenConfig parameterizes the self-benchmark.
@@ -22,8 +23,16 @@ type loadgenConfig struct {
 	scale   float64
 	seed    int64
 	bench   string
-	opts    serve.Options
+	// storeDir is where the durable store lives across the benchmark's
+	// two server lives ("" = a throwaway temp dir).
+	storeDir string
+	opts     serve.Options
 }
+
+// warmHitRateFloor is the warm-restart gate: after a restart onto the
+// same store directory, at least this fraction of the cell mix must be
+// served from disk without simulating. Below it, durability is broken.
+const warmHitRateFloor = 0.95
 
 // benchServeReport is the BENCH_serve.json schema: end-to-end service
 // throughput and latency under concurrent load, with correctness
@@ -48,6 +57,10 @@ type benchServeReport struct {
 	CacheMisses    uint64   `json:"cache_misses"`
 	CacheHitRate   float64  `json:"cache_hit_rate"`
 	SimRuns        int64    `json:"sim_runs"`
+	WarmRequests   int      `json:"warm_requests"`
+	WarmStoreHits  uint64   `json:"warm_store_hits"`
+	WarmSimRuns    int64    `json:"warm_sim_runs"`
+	WarmHitRate    float64  `json:"warm_hit_rate"`
 	MaxInFlight    int      `json:"max_concurrent_clients"`
 	Scale          float64  `json:"scale"`
 	Seed           int64    `json:"seed"`
@@ -85,12 +98,38 @@ func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 	if opts.QueueDepth == 0 {
 		opts.QueueDepth = 4 * cfg.clients
 	}
+
+	// The benchmark runs the server twice against one store directory:
+	// the load phase fills it, the warm phase measures what a restarted
+	// server serves from disk.
+	storeDir := cfg.storeDir
+	if storeDir == "" {
+		tmp, err := os.MkdirTemp("", "mtserve-loadgen-store-")
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		storeDir = tmp
+	}
+	st, err := store.Open(store.Options{Dir: storeDir})
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	opts.Store = st
+
 	srv := serve.NewServer(opts)
 	ts := httptest.NewServer(srv.Handler())
-	defer func() {
+	closed := false
+	closeLife := func() {
+		if closed {
+			return
+		}
+		closed = true
 		ts.Close()
 		srv.Drain()
-	}()
+		_ = st.Close()
+	}
+	defer closeLife()
 	log.Info("loadgen: server up", "url", ts.URL, "clients", cfg.clients, "rounds", cfg.rounds)
 
 	var (
@@ -187,6 +226,47 @@ func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 		}
 	}
 
+	// Warm-restart phase: retire the first life completely (drain, flush,
+	// seal), then bring up a second server — cold memory cache, same
+	// store directory — and walk the cell mix once. Every cell answered
+	// without simulating is a warm hit; the rate is a hard gate.
+	closeLife()
+	log.Info("loadgen: warm-restart phase", "store_dir", storeDir)
+	st2, err := store.Open(store.Options{Dir: storeDir})
+	if err != nil {
+		return fmt.Errorf("loadgen: reopening store: %w", err)
+	}
+	opts2 := opts
+	opts2.Store = st2
+	srv2 := serve.NewServer(opts2)
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Drain()
+		_ = st2.Close()
+	}()
+
+	wcl := client.New(ts2.URL)
+	wcl.MaxRetries = 64
+	wcl.RetryWait = 10 * time.Millisecond
+	for _, c := range cells {
+		resp, err := wcl.Simulate(&serve.SimulateRequest{
+			Params: &params, App: c.App, Algorithm: c.Alg, Procs: c.Procs,
+		})
+		rep.WarmRequests++
+		if err != nil {
+			return fmt.Errorf("loadgen: warm request %+v: %w", c, err)
+		}
+		if !reflect.DeepEqual(resp.Result, want[c]) {
+			return fmt.Errorf("loadgen: warm result for %+v diverged from the direct library result", c)
+		}
+	}
+	rep.WarmStoreHits = st2.Stats().Hits
+	rep.WarmSimRuns = srv2.Metrics().Snapshot()["serve_sim_runs_total"]
+	if rep.WarmRequests > 0 {
+		rep.WarmHitRate = float64(rep.WarmStoreHits) / float64(rep.WarmRequests)
+	}
+
 	if err := loadgen.WriteReport(os.Stdout, cfg.bench, rep); err != nil {
 		return err
 	}
@@ -196,6 +276,7 @@ func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 		"p50_ms", fmt.Sprintf("%.2f", rep.LatencyP50Ms),
 		"p99_ms", fmt.Sprintf("%.2f", rep.LatencyP99Ms),
 		"cache_hit_rate", fmt.Sprintf("%.3f", rep.CacheHitRate),
+		"warm_hit_rate", fmt.Sprintf("%.3f", rep.WarmHitRate),
 		"max_in_flight", rep.MaxInFlight)
 
 	if rep.Errors > 0 {
@@ -203,6 +284,10 @@ func runLoadgen(log *slog.Logger, cfg loadgenConfig) error {
 	}
 	if rep.Divergent > 0 {
 		return fmt.Errorf("loadgen: %d/%d responses diverged from direct library results", rep.Divergent, rep.Requests)
+	}
+	if rep.WarmHitRate < warmHitRateFloor {
+		return fmt.Errorf("loadgen: warm restart served %.3f of the mix from the store, floor is %.2f (%d hits / %d requests, %d re-simulated)",
+			rep.WarmHitRate, warmHitRateFloor, rep.WarmStoreHits, rep.WarmRequests, rep.WarmSimRuns)
 	}
 	return nil
 }

@@ -12,6 +12,8 @@ import (
 	"repro/internal/serve"
 	"repro/internal/serve/client"
 	"repro/internal/serve/rescache"
+	"repro/internal/serve/webhook"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -46,6 +48,17 @@ type Options struct {
 	// DisableTelemetry turns off distributed tracing and the job-progress
 	// event bus. Histograms stay on — they are three atomic adds.
 	DisableTelemetry bool
+	// Store, when non-nil, is the coordinator's durable result tier:
+	// every harvested cell result is persisted keyed by its shard
+	// address, and a resubmitted (or crash-recovered) sweep restores
+	// stored cells without leasing them out — the cluster warm-starts
+	// from disk. The caller owns the store's lifecycle (Close after
+	// Drain).
+	Store *store.Store
+	// Webhooks, when non-nil, delivers terminal job states for sweeps
+	// submitted with a webhook_url. The caller owns the dispatcher's
+	// lifecycle (Close after Drain).
+	Webhooks *webhook.Dispatcher
 }
 
 func (o Options) withDefaults() Options {
@@ -283,6 +296,9 @@ type cjob struct {
 	// disabled). Write-once before runJob starts, read-only after.
 	trace obs.SpanContext
 	span  *obs.ActiveSpan
+	// webhookURL is the sweep's terminal-state delivery target ("" for
+	// none). Write-once before runJob starts, read-only after.
+	webhookURL string
 
 	mu        sync.Mutex
 	status    string
@@ -339,6 +355,13 @@ func (j *cjob) snapshot() serve.JobStatus {
 		st.Results = append([]serve.CellResult(nil), j.results...)
 	}
 	return st
+}
+
+// resultOf snapshots one cell's recorded result.
+func (j *cjob) resultOf(ci int) serve.CellResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.results[ci]
 }
 
 // pendingIndices returns the cells waiting for a lease.
@@ -419,12 +442,13 @@ func (c *Coordinator) SubmitSweepTraced(req *serve.SweepRequest, ctx obs.SpanCon
 		delete(c.jobs, id) // forget the stale record, rerun below
 	}
 	j := &cjob{
-		id:       id,
-		params:   params,
-		engine:   engine,
-		infinite: req.Infinite,
-		status:   serve.StatusQueued,
-		done:     make(chan struct{}),
+		id:         id,
+		params:     params,
+		engine:     engine,
+		infinite:   req.Infinite,
+		webhookURL: req.WebhookURL,
+		status:     serve.StatusQueued,
+		done:       make(chan struct{}),
 	}
 	for _, app := range req.Apps {
 		for _, alg := range req.Algorithms {

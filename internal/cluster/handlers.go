@@ -209,6 +209,27 @@ func (c *Coordinator) Health() serve.HealthResponse {
 			Retriable: c.metrics.jobsRetriable.Value(),
 		},
 	}
+	if c.opts.Store != nil {
+		ss := c.opts.Store.Stats()
+		h.Store = &serve.StoreHealth{
+			Entries:        ss.Entries,
+			SealedSegments: ss.SealedSegments,
+			Hits:           ss.Hits,
+			Misses:         ss.Misses,
+			Puts:           ss.Puts,
+			Quarantined:    ss.Quarantined,
+			HitRate:        ss.HitRate(),
+		}
+	}
+	if c.opts.Webhooks != nil {
+		ws := c.opts.Webhooks.Stats()
+		h.Webhooks = &serve.WebhookHealth{
+			Pending:   ws.Pending,
+			Delivered: ws.Delivered,
+			Failed:    ws.Failed,
+			Retries:   ws.Retries,
+		}
+	}
 	if c.Draining() {
 		h.Status = "draining"
 	}
@@ -217,6 +238,7 @@ func (c *Coordinator) Health() serve.HealthResponse {
 
 // handleMetrics renders the Prometheus text exposition.
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.syncDurableCounters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = c.metrics.set.WriteTo(w)
 }

@@ -28,8 +28,17 @@ type coordMetrics struct {
 	cellsFailed    *obs.Metric
 	cellsStolen    *obs.Metric
 	cellsRequeued  *obs.Metric
+	cellsFromStore *obs.Metric
 	pendingCells   *obs.Metric
 	streamDropped  *obs.Metric
+
+	storeHits        *obs.Metric
+	storeMisses      *obs.Metric
+	storePuts        *obs.Metric
+	storeQuarantined *obs.Metric
+	webhookPending   *obs.Metric
+	webhookDelivered *obs.Metric
+	webhookFailed    *obs.Metric
 
 	reqLatency   *obs.Histogram
 	leaseHarvest *obs.Histogram
@@ -53,10 +62,19 @@ func newCoordMetrics() *coordMetrics {
 		cellsFailed:    s.Counter("coordinator_cells_failed_total", "sweep cells that failed on a healthy worker"),
 		cellsStolen:    s.Counter("coordinator_steals_total", "cells stolen from a straggler's lease for an idle worker"),
 		cellsRequeued:  s.Counter("coordinator_requeues_total", "cells requeued after a worker death"),
+		cellsFromStore: s.Counter("coordinator_cells_from_store_total", "sweep cells restored from the durable store without leasing"),
 		pendingCells:   s.Gauge("coordinator_pending_cells", "cells accepted but not yet completed"),
 		streamDropped:  s.Counter("coordinator_stream_dropped_events_total", "progress-stream events dropped on slow subscribers"),
-		reqLatency:     s.Histogram("coordinator_request_latency_us", "request latency in microseconds (SSE streams excluded)"),
-		leaseHarvest:   s.Histogram("coordinator_lease_harvest_us", "lease lifetime from grant to final harvest in microseconds"),
+
+		storeHits:        s.Counter("coordinator_store_hits_total", "durable result store hits"),
+		storeMisses:      s.Counter("coordinator_store_misses_total", "durable result store misses"),
+		storePuts:        s.Counter("coordinator_store_puts_total", "results written to the durable store"),
+		storeQuarantined: s.Counter("coordinator_store_quarantined_total", "store segments quarantined for corruption"),
+		webhookPending:   s.Gauge("coordinator_webhook_pending", "webhook deliveries awaiting a terminal outcome"),
+		webhookDelivered: s.Counter("coordinator_webhook_delivered_total", "webhook deliveries acknowledged 2xx"),
+		webhookFailed:    s.Counter("coordinator_webhook_failed_total", "webhook deliveries failed after exhausting attempts"),
+		reqLatency:       s.Histogram("coordinator_request_latency_us", "request latency in microseconds (SSE streams excluded)"),
+		leaseHarvest:     s.Histogram("coordinator_lease_harvest_us", "lease lifetime from grant to final harvest in microseconds"),
 	}
 }
 

@@ -45,6 +45,10 @@ func (c *Coordinator) runJob(j *cjob) {
 	j.mu.Unlock()
 	c.publishJob(j)
 
+	// Warm start: cells whose results already sit in the durable store
+	// complete right here; only the remainder is leased out.
+	c.restoreFromStore(j)
+
 	var outstanding []*leaseRef
 	leaseSeq := 0
 	for {
@@ -150,6 +154,7 @@ func (c *Coordinator) recordDone(j *cjob, lr *leaseRef, ci int, cs serve.LeaseCe
 	c.metrics.pendingCells.Add(-1)
 	lr.w.metrics.pending.Add(-1)
 	c.publishCell(j, ci, lr.w.id, "done", cs.Key, cs.Cached, "")
+	c.persistCell(j.cells[ci], j.resultOf(ci))
 	if c.journal != nil {
 		if err := c.journal.cellDone(j.id, ci, cs.Key); err != nil {
 			// A post-crash re-execution disagreed with the journaled result
@@ -402,6 +407,7 @@ func (c *Coordinator) finalize(j *cjob) {
 	j.span.SetNote(status)
 	j.finish()
 	c.publishJob(j)
+	c.notifyJob(j, j.snapshot())
 
 	if status == serve.StatusDone {
 		c.metrics.jobsCompleted.Inc()
@@ -436,6 +442,7 @@ func (c *Coordinator) retireRetriable(j *cjob, outstanding []*leaseRef) {
 	j.mu.Unlock()
 	j.finish()
 	c.publishJob(j)
+	c.notifyJob(j, j.snapshot())
 	c.metrics.jobsRetriable.Inc()
 	c.metrics.pendingCells.Add(-int64(remaining))
 	if c.opts.Log != nil {

@@ -40,6 +40,14 @@ func TestDeterminismObsFixture(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "determinism/internal/obs")
 }
 
+func TestDeterminismStoreFixture(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "determinism/internal/store")
+}
+
+func TestDeterminismWebhookFixture(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "determinism/internal/serve/webhook")
+}
+
 // TestDeterminismOutOfScope runs the determinism analyzer over a package
 // outside its scope lists: wall clock, global rand and map-ordered output
 // are all someone else's problem there, so the fixture has no want

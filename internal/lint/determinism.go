@@ -51,7 +51,19 @@ var determinismTimeRandScope = []string{"internal/sim", "internal/workload", "in
 // bytes for identical recorded state, so map iteration must never feed
 // either. (obs legitimately reads wall clocks for spans and latency
 // histograms, so it too stays out of the time/rand scope.)
-var determinismMapOrderScope = []string{"internal/report", "internal/analysis", "internal/cluster", "internal/obs"}
+// internal/store is here because the durable result store keeps its
+// record index in a map while its on-disk artifacts are part of the
+// byte-determinism contract: compaction rewrites segments and recovery
+// rebuilds the index, and if either walked the index in map order, two
+// stores holding identical records could seal byte-different segment
+// files — breaking the warm-restart differential (byte-identical
+// artifacts across lives). internal/serve/webhook is here because the
+// dispatcher keeps pending deliveries in a map while its journal and its
+// retry schedule are observable: journal compaction or queue draining in
+// map order would make delivery order and journal bytes run-dependent.
+// (Both packages legitimately read wall clocks — flush pacing, retry
+// backoff — so neither joins the time/rand scope.)
+var determinismMapOrderScope = []string{"internal/report", "internal/analysis", "internal/cluster", "internal/obs", "internal/store", "internal/serve/webhook"}
 
 // seededRandConstructors are the math/rand functions that do not touch the
 // global source.

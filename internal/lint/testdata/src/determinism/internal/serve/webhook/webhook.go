@@ -1,0 +1,55 @@
+// Package webhook is the determinism fixture for the delivery dispatcher
+// scope: pending deliveries live in a map, and both the journal bytes
+// and the retry drain order are observable — neither may depend on Go's
+// randomized map iteration. The import path ends in
+// internal/serve/webhook, which puts it in scope.
+package webhook
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type delivery struct {
+	url      string
+	attempts int
+}
+
+// journalDumpUnsorted writes the pending set in map order: two journal
+// compactions of the same state would disagree byte for byte.
+func journalDumpUnsorted(w io.Writer, pending map[string]*delivery) {
+	for id, d := range pending { // want `range over map pending feeds output through Fprintf in map iteration order`
+		fmt.Fprintf(w, "%s %s %d\n", id, d.url, d.attempts)
+	}
+}
+
+// drainOrderUnsorted builds the retry pass worklist without a sort: the
+// delivery order (and therefore receiver-observed arrival order among
+// equally-due deliveries) would be run-dependent.
+func drainOrderUnsorted(pending map[string]*delivery) []string {
+	var due []string
+	for id := range pending { // want `range over map pending appends to due in map iteration order without a later sort`
+		due = append(due, id)
+	}
+	return due
+}
+
+// drainOrderSorted is the sanctioned idiom: collect, sort, then deliver.
+func drainOrderSorted(pending map[string]*delivery) []string {
+	var due []string
+	for id := range pending {
+		due = append(due, id)
+	}
+	sort.Strings(due)
+	return due
+}
+
+// attemptTotal tallies an integer across the set: commutative, allowed.
+func attemptTotal(pending map[string]*delivery) int {
+	var total int
+	for _, d := range pending {
+		total += d.attempts
+	}
+	return total
+}

@@ -1,0 +1,54 @@
+// Package store is the determinism fixture for the durable result store
+// scope: the record index lives in a map, and everything the store
+// persists — compacted segments, manifests, recovery output — must be
+// byte-identical for identical records. The import path ends in
+// internal/store, which puts it in scope.
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type entry struct {
+	off  int64
+	plen int
+}
+
+// compactUnsorted rewrites live records in index map order: two stores
+// holding identical records would seal byte-different segments.
+func compactUnsorted(w io.Writer, index map[string]entry) {
+	for key, e := range index { // want `range over map index feeds output through Fprintf in map iteration order`
+		fmt.Fprintf(w, "%s %d %d\n", key, e.off, e.plen)
+	}
+}
+
+// manifestUnsorted collects keys for the compaction manifest without a
+// sort: the rewrite order leaks into the new segment's byte layout.
+func manifestUnsorted(index map[string]entry) []string {
+	var keys []string
+	for k := range index { // want `range over map index appends to keys in map iteration order without a later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// manifestSorted is the sanctioned idiom: collect, sort, then rewrite.
+func manifestSorted(index map[string]entry) []string {
+	var keys []string
+	for k := range index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// payloadBytes tallies an integer across the index: commutative, allowed.
+func payloadBytes(index map[string]entry) int {
+	var total int
+	for _, e := range index {
+		total += e.plen
+	}
+	return total
+}

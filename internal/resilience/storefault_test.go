@@ -1,0 +1,244 @@
+package resilience_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/resilience"
+	"repro/internal/store"
+)
+
+// sealedSegment builds one sealed MTS1 segment through the store's own
+// write path and returns its bytes plus the keys it holds.
+func sealedSegment(t *testing.T) ([]byte, []store.Key) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []store.Key{{0x01}, {0x02}, {0x03}}
+	payloads := [][]byte{
+		[]byte(`{"v":1,"key":"01","result":{"speedup":3.14}}`),
+		bytes.Repeat([]byte{0xA5}, 200),
+		{}, // empty payload is legal and must survive the matrix too
+	}
+	for i, k := range keys {
+		if err := st.Put(k, payloads[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil { // drains, seals, fsyncs
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.mts"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one sealed segment, got %v (%v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, keys
+}
+
+// TestStoreFaultMatrix is the satellite contract: every corrupting fault
+// class, at every byte offset of a sealed MTS1 segment, is detected by
+// Verify as a typed *CorruptError — zero silent corruption — while the
+// harmless class (short reads) changes nothing.
+func TestStoreFaultMatrix(t *testing.T) {
+	data, _ := sealedSegment(t)
+	n := int64(len(data))
+
+	intact, err := store.Verify(bytes.NewReader(data), true)
+	if err != nil {
+		t.Fatalf("pristine segment rejected: %v", err)
+	}
+	if intact != 3 {
+		t.Fatalf("pristine segment holds %d records, want 3", intact)
+	}
+
+	var cases []resilience.Fault
+	for off := int64(0); off < n; off++ {
+		cases = append(cases,
+			resilience.Fault{Class: resilience.BitFlip, Offset: off, Bit: uint8(off % 8)},
+			resilience.Fault{Class: resilience.Truncate, Offset: off},
+			resilience.Fault{Class: resilience.ErrAfter, Offset: off},
+		)
+		if off > 0 {
+			// DupRead engages when delivery crosses Offset; offset 0 never
+			// crosses, so the matrix starts at 1.
+			cases = append(cases,
+				resilience.Fault{Class: resilience.DupRead, Offset: off},
+				resilience.Fault{Class: resilience.DupRead, Offset: off, Count: 7},
+			)
+		}
+	}
+
+	for _, f := range cases {
+		fr := resilience.NewFaultingReader(bytes.NewReader(data), f)
+		_, err := store.Verify(fr, true)
+		if err == nil {
+			t.Errorf("%s: corruption served silently", f)
+			continue
+		}
+		var ce *store.CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *store.CorruptError", f, err)
+			continue
+		}
+		if ce.Offset < 0 {
+			t.Errorf("%s: negative damage offset %d", f, ce.Offset)
+		}
+		if f.Class == resilience.ErrAfter && !errors.Is(err, resilience.ErrInjected) {
+			t.Errorf("%s: injected root cause lost: %v", f, err)
+		}
+	}
+
+	// Short reads are legal io.Reader behavior, not damage: the scan must
+	// decode the identical record set from single-byte delivery.
+	for _, off := range []int64{0, 1, 5, n / 2, n - 1} {
+		f := resilience.Fault{Class: resilience.ShortRead, Offset: off}
+		fr := resilience.NewFaultingReader(bytes.NewReader(data), f)
+		got, err := store.Verify(fr, true)
+		if err != nil {
+			t.Errorf("%s: harmless fragmentation rejected: %v", f, err)
+		} else if got != intact {
+			t.Errorf("%s: %d records, want %d", f, got, intact)
+		}
+	}
+}
+
+// TestStoreQuarantineMatrix drives damaged segment files through Open:
+// for every corrupting class at a sweep of offsets, recovery must
+// quarantine the file (renamed aside, counted) and serve every lookup as
+// a miss — never a panic, never a damaged byte.
+func TestStoreQuarantineMatrix(t *testing.T) {
+	data, keys := sealedSegment(t)
+	n := int64(len(data))
+
+	damage := func(f resilience.Fault) []byte {
+		fr := resilience.NewFaultingReader(bytes.NewReader(data), f)
+		d, err := io.ReadAll(fr)
+		if err != nil {
+			// ErrAfter models a device dying mid-copy: the bytes delivered
+			// so far are what lands on disk.
+			return d
+		}
+		return d
+	}
+
+	var faults []resilience.Fault
+	for off := int64(0); off < n; off += 13 {
+		faults = append(faults,
+			resilience.Fault{Class: resilience.BitFlip, Offset: off, Bit: uint8(off % 8)},
+			resilience.Fault{Class: resilience.Truncate, Offset: off},
+			resilience.Fault{Class: resilience.ErrAfter, Offset: off},
+		)
+		if off > 0 {
+			faults = append(faults, resilience.Fault{Class: resilience.DupRead, Offset: off})
+		}
+	}
+
+	for _, f := range faults {
+		t.Run(f.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			name := filepath.Join(dir, "seg-00000001.mts")
+			if err := os.WriteFile(name, damage(f), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := store.Open(store.Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("Open must survive damage, got %v", err)
+			}
+			defer st.Close()
+			if got := st.Stats().Quarantined; got != 1 {
+				t.Fatalf("quarantined = %d, want 1", got)
+			}
+			for _, k := range keys {
+				if payload, ok := st.Get(k); ok {
+					t.Fatalf("key %s served %d bytes from a quarantined segment", k, len(payload))
+				}
+			}
+			if _, err := os.Stat(name); !os.IsNotExist(err) {
+				t.Errorf("damaged segment still present under its serving name")
+			}
+			q, _ := filepath.Glob(filepath.Join(dir, "*.quarantined"))
+			if len(q) != 1 {
+				t.Errorf("quarantine files = %v, want exactly one", q)
+			}
+			// The store must remain writable after quarantine: recompute
+			// and re-persist is the recovery path.
+			if err := st.Put(keys[0], []byte("recomputed")); err != nil {
+				t.Fatalf("Put after quarantine: %v", err)
+			}
+			if err := st.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := st.Get(keys[0]); !ok || string(got) != "recomputed" {
+				t.Fatalf("recomputed record not served: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestStoreTornTailRecovery: a live segment with a torn tail (crashed
+// writer) is truncated to its last intact frame, not quarantined — the
+// intact prefix keeps serving.
+func TestStoreTornTailRecovery(t *testing.T) {
+	data, keys := sealedSegment(t)
+
+	// Strip the seal footer to model a live segment, then tear the tail
+	// mid-frame at every offset inside the final record.
+	sealed, err := store.Verify(bytes.NewReader(data), true)
+	if err != nil || sealed != 3 {
+		t.Fatal("fixture broke")
+	}
+	// Find the live prefix: the longest proper prefix that scans clean as
+	// a live segment with all 3 records is the boundary just before the
+	// seal footer.
+	liveLen := int64(len(data)) - 1
+	for ; liveLen > 0; liveLen-- {
+		got, err := store.Verify(bytes.NewReader(data[:liveLen]), false)
+		if err == nil && got == 3 {
+			break
+		}
+	}
+	if liveLen == 0 {
+		t.Fatal("no live frame boundary found")
+	}
+	live := data[:liveLen]
+
+	for cut := liveLen - 1; cut > liveLen-20 && cut > 4; cut-- {
+		dir := t.TempDir()
+		name := filepath.Join(dir, "seg-00000001.open")
+		if err := os.WriteFile(name, live[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open(store.Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		s := st.Stats()
+		if s.TruncatedTails != 1 {
+			t.Fatalf("cut %d: truncated_tails = %d, want 1", cut, s.TruncatedTails)
+		}
+		if s.Quarantined != 0 {
+			t.Fatalf("cut %d: torn live tail quarantined the segment", cut)
+		}
+		// The two fully-framed records survive; the torn third is a miss.
+		for i, k := range keys[:2] {
+			if _, ok := st.Get(k); !ok {
+				t.Errorf("cut %d: intact record %d lost", cut, i)
+			}
+		}
+		if _, ok := st.Get(keys[2]); ok {
+			t.Errorf("cut %d: torn record served", cut)
+		}
+		st.Close()
+	}
+}

@@ -1,0 +1,212 @@
+// Package retry is the shared backoff-and-circuit-breaker core behind
+// every transient-failure path in the serving tier: the webhook
+// dispatcher's redelivery schedule, and serve/client's handling of
+// 429/5xx responses (honoring Retry-After) in experiments -remote.
+//
+// The package is deliberately clock-free and randomness-free: Delay
+// takes the attempt number and a caller-supplied jitter unit, Breaker
+// methods take the current time as an argument. Callers own their clock
+// and their random source, so every schedule the package computes is
+// reproducible in tests — the same discipline the determinism analyzer
+// enforces on the simulation core.
+package retry
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Policy computes exponential-backoff delays with bounded attempts.
+// The zero value of each field gets a sensible default.
+type Policy struct {
+	// BaseDelay is the first retry's delay. Default 250ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Default 30s.
+	MaxDelay time.Duration
+	// Multiplier is the per-attempt growth factor. Default 2.
+	Multiplier float64
+	// MaxAttempts bounds total attempts (first try included). Default 8.
+	MaxAttempts int
+	// Jitter is the +/- fraction applied to each delay (0.2 = +/-20%).
+	// Default 0.2; set negative for exactly zero jitter.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 250 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 30 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Attempts returns the bounded total number of attempts.
+func (p Policy) Attempts() int { return p.withDefaults().MaxAttempts }
+
+// Delay returns how long to wait before retry number attempt (0-based:
+// attempt 0 is the delay after the first failure). hint is a
+// server-supplied floor — typically a parsed Retry-After — and wins when
+// it exceeds the computed backoff; jitterUnit in [0, 1) supplies the
+// randomness (pass 0.5 for the midpoint, i.e. no jitter). The result is
+// never negative.
+func (p Policy) Delay(attempt int, hint time.Duration, jitterUnit float64) time.Duration {
+	p = p.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(p.BaseDelay)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if jitterUnit < 0 {
+		jitterUnit = 0
+	} else if jitterUnit >= 1 {
+		jitterUnit = 1 - 1e-9
+	}
+	// Spread across [1-Jitter, 1+Jitter) so herds of retriers decorrelate.
+	d *= 1 + p.Jitter*(2*jitterUnit-1)
+	delay := time.Duration(d)
+	if delay > p.MaxDelay {
+		delay = p.MaxDelay
+	}
+	if hint > delay {
+		delay = hint
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return delay
+}
+
+// ParseRetryAfter decodes an HTTP Retry-After header value — either
+// delta-seconds or an HTTP date — into a wait duration relative to now.
+// Returns false for an absent or unparseable value. A date in the past
+// yields 0, true (retry immediately).
+func ParseRetryAfter(value string, now time.Time) (time.Duration, bool) {
+	if value == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if when, err := http.ParseTime(value); err == nil {
+		d := when.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// Breaker is a per-endpoint circuit breaker: after Threshold consecutive
+// failures it opens and rejects attempts for Cooldown, then admits a
+// single half-open probe whose outcome decides between closing (probe
+// succeeded) and re-opening for another cooldown (probe failed).
+//
+// Like Policy it is clock-free: callers pass the current time, so tests
+// drive the breaker through its whole state machine without sleeping.
+// Safe for concurrent use.
+type Breaker struct {
+	mu sync.Mutex
+	// threshold and cooldown are fixed at construction.
+	threshold int
+	cooldown  time.Duration
+	// consecutive counts failures since the last success.
+	consecutive int
+	// openUntil is the end of the current cooldown (zero when closed).
+	openUntil time.Time
+	// probing marks an in-flight half-open probe.
+	probing bool
+}
+
+// NewBreaker returns a breaker opening after threshold consecutive
+// failures (minimum 1) for cooldown per open period (minimum 1ms).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether an attempt may proceed at time now. While open
+// it returns false until the cooldown elapses, then true exactly once
+// (the half-open probe) until that probe's outcome is reported.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.consecutive < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success reports a successful attempt: the breaker closes and the
+// failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.probing = false
+	b.openUntil = time.Time{}
+}
+
+// Failure reports a failed attempt at time now. Crossing the threshold
+// (or failing the half-open probe) opens the breaker for one cooldown.
+func (b *Breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	b.probing = false
+	if b.consecutive >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// State renders the breaker's condition at time now for metrics and
+// health reports: "closed", "open", or "half-open".
+func (b *Breaker) State(now time.Time) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.consecutive < b.threshold:
+		return "closed"
+	case now.Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/url"
 
 	"repro/internal/obs"
 	"repro/internal/placement"
@@ -49,6 +50,8 @@ const (
 	MaxSweepCells = 4096
 	// MaxSweepList caps each dimension list of a sweep.
 	MaxSweepList = 64
+	// MaxWebhookURLLen caps a sweep's webhook_url.
+	MaxWebhookURLLen = 2048
 )
 
 // Engine labels accepted by the API. EngineGuarded (the default) runs the
@@ -181,6 +184,11 @@ type SweepRequest struct {
 	Procs      []int    `json:"procs"`
 	Infinite   bool     `json:"infinite,omitempty"`
 	Engine     string   `json:"engine,omitempty"`
+	// WebhookURL, when set, is POSTed the job's terminal state (a
+	// JobEvent body) with journaled at-least-once delivery: retried with
+	// backoff across endpoint flaps and server restarts, deduplicated by
+	// the Mtsim-Delivery header. http/https only.
+	WebhookURL string `json:"webhook_url,omitempty"`
 }
 
 // Cells returns the size of the sweep's cross product.
@@ -271,6 +279,27 @@ type CacheHealth struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// StoreHealth summarizes the durable result store inside /healthz
+// (present only when the daemon runs with -store-dir).
+type StoreHealth struct {
+	Entries        int     `json:"entries"`
+	SealedSegments int     `json:"sealed_segments"`
+	Hits           uint64  `json:"hits"`
+	Misses         uint64  `json:"misses"`
+	Puts           uint64  `json:"puts"`
+	Quarantined    uint64  `json:"quarantined"`
+	HitRate        float64 `json:"hit_rate"`
+}
+
+// WebhookHealth summarizes the delivery dispatcher inside /healthz
+// (present only when webhooks are enabled).
+type WebhookHealth struct {
+	Pending   int    `json:"pending"`
+	Delivered uint64 `json:"delivered"`
+	Failed    uint64 `json:"failed"`
+	Retries   uint64 `json:"retries"`
+}
+
 // JobsHealth summarizes job accounting inside /healthz. Accepted ==
 // Completed + Failed + Retriable + Canceled + live jobs; graceful
 // shutdown must never lose an accepted job.
@@ -299,6 +328,10 @@ type HealthResponse struct {
 	Divergence    string      `json:"divergence,omitempty"`
 	Cache         CacheHealth `json:"cache"`
 	Jobs          JobsHealth  `json:"jobs"`
+	// Store reports the durable result store when one is attached.
+	Store *StoreHealth `json:"store,omitempty"`
+	// Webhooks reports the delivery dispatcher when one is attached.
+	Webhooks *WebhookHealth `json:"webhooks,omitempty"`
 }
 
 // PlacementsResponse is the GET /v1/placements reply: the server's
@@ -501,6 +534,31 @@ func (r *SweepRequest) Validate() error {
 		if p < 1 || p > MaxProcs {
 			return fmt.Errorf("procs %d out of range [1, %d]", p, MaxProcs)
 		}
+	}
+	if r.WebhookURL != "" {
+		if err := validateWebhookURL(r.WebhookURL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateWebhookURL accepts absolute http/https URLs with a host, of
+// bounded length — the complete acceptance predicate for delivery
+// targets (the dispatcher re-parses but never re-validates).
+func validateWebhookURL(raw string) error {
+	if len(raw) > MaxWebhookURLLen {
+		return fmt.Errorf("webhook_url longer than %d bytes", MaxWebhookURLLen)
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("webhook_url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("webhook_url scheme %q not allowed (http or https)", u.Scheme)
+	}
+	if u.Host == "" {
+		return errors.New("webhook_url has no host")
 	}
 	return nil
 }

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -26,12 +28,21 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
-	// MaxRetries bounds retries of retriable rejections (429 queue-full,
-	// 503 draining). Default 0: fail fast; sweeps that want patience set
-	// it explicitly.
+	// Policy is the backoff schedule for transient failures (429
+	// queue-full, 502/503/504, connection errors), run on the shared
+	// internal/retry core with the server's Retry-After honored as a
+	// floor. The zero Policy fails fast (one attempt) unless the legacy
+	// MaxRetries/RetryWait fields ask otherwise.
+	Policy retry.Policy
+	// RetryBudget caps the total time spent retrying one call (0 = no
+	// cap beyond the attempt bound). On exhaustion the error reports the
+	// attempt count and wraps the last failure.
+	RetryBudget time.Duration
+	// MaxRetries bounds retries of retriable rejections. Default 0: fail
+	// fast. Superseded by Policy.MaxAttempts when that is set.
 	MaxRetries int
-	// RetryWait is the base wait between retries when the server sends no
-	// Retry-After hint (default 250ms).
+	// RetryWait is the base backoff delay. Default 250ms. Superseded by
+	// Policy.BaseDelay when that is set.
 	RetryWait time.Duration
 }
 
@@ -52,6 +63,9 @@ type APIError struct {
 	Status    int
 	Message   string
 	Retriable bool
+	// RetryAfter is the server's parsed Retry-After hint (0 if absent);
+	// the retry loop uses it as a backoff floor.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -59,11 +73,29 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("mtserve: HTTP %d: %s", e.Status, e.Message)
 }
 
-// IsRetriable reports whether err is an APIError the server marked
-// retriable (queue full, draining).
+// IsRetriable reports whether err is transient: an APIError the server
+// marked retriable, a transient status (429 backpressure, 502/503/504),
+// or a transport-level failure (every API POST is idempotent — content-
+// addressed jobs, deterministic simulations — so re-sending is safe).
 func IsRetriable(err error) bool {
 	var ae *APIError
-	return errors.As(err, &ae) && ae.Retriable
+	if errors.As(err, &ae) {
+		return ae.Retriable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// retriableStatus lists replies that are transient by protocol even when
+// the body carries no retriable flag (e.g. a proxy answered, not
+// mtserve).
+func retriableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // post sends one JSON request and decodes the 2xx reply into out,
@@ -74,30 +106,70 @@ func (c *Client) post(path string, in, out any) error {
 
 // postTrace is post with an optional Mtsim-Trace header value ("" sends
 // no header) so proxies can propagate a distributed-trace context.
+// Transient failures retry through the shared backoff core: exponential
+// delays floored by the server's Retry-After, bounded by the policy's
+// attempt budget and the client's RetryBudget; the final error reports
+// how many attempts were spent and wraps the last failure (errors.As
+// still reaches the *APIError).
 func (c *Client) postTrace(path string, in, out any, trace string) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	for attempt := 0; ; attempt++ {
+	pol := c.policy()
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
 		err := c.roundTrip(http.MethodPost, path, body, out, trace)
-		if err == nil || !IsRetriable(err) || attempt >= c.MaxRetries {
+		if err == nil || !IsRetriable(err) {
 			return err
 		}
-		time.Sleep(c.retryDelay(err))
+		if attempt >= pol.Attempts() {
+			if attempt == 1 {
+				// Fail-fast configuration: keep the bare error (callers
+				// match on it directly, e.g. backpressure tests).
+				return err
+			}
+			return fmt.Errorf("mtserve: giving up after %d attempts over %s: %w",
+				attempt, time.Since(start).Round(time.Millisecond), err)
+		}
+		var hint time.Duration
+		var ae *APIError
+		if errors.As(err, &ae) {
+			hint = ae.RetryAfter
+		}
+		// Midpoint jitter: client-side schedules stay deterministic for
+		// the differential tests; decorrelation lives server-side.
+		delay := pol.Delay(attempt-1, hint, 0.5)
+		if c.RetryBudget > 0 && time.Since(start)+delay > c.RetryBudget {
+			return fmt.Errorf("mtserve: retry budget %s exhausted after %d attempts: %w",
+				c.RetryBudget, attempt, err)
+		}
+		time.Sleep(delay)
 	}
+}
+
+// policy resolves the effective retry policy, honoring the legacy
+// MaxRetries/RetryWait fields when the structured Policy is unset.
+func (c *Client) policy() retry.Policy {
+	p := c.Policy
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = c.MaxRetries + 1
+	}
+	if p.BaseDelay == 0 {
+		if c.RetryWait > 0 {
+			p.BaseDelay = c.RetryWait
+		} else {
+			p.BaseDelay = 250 * time.Millisecond
+		}
+	}
+	if p.Jitter == 0 {
+		p.Jitter = -1 // deterministic schedule unless explicitly jittered
+	}
+	return p
 }
 
 func (c *Client) get(path string, out any) error {
 	return c.roundTrip(http.MethodGet, path, nil, out, "")
-}
-
-// retryDelay is the wait between retriable rejections.
-func (c *Client) retryDelay(error) time.Duration {
-	if c.RetryWait > 0 {
-		return c.RetryWait
-	}
-	return 250 * time.Millisecond
 }
 
 func (c *Client) roundTrip(method, path string, body []byte, out any, trace string) error {
@@ -125,7 +197,15 @@ func (c *Client) roundTrip(method, path string, body []byte, out any, trace stri
 		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err != nil || er.Error == "" {
 			er.Error = resp.Status
 		}
-		return &APIError{Status: resp.StatusCode, Message: er.Error, Retriable: er.Retriable}
+		ae := &APIError{
+			Status:    resp.StatusCode,
+			Message:   er.Error,
+			Retriable: er.Retriable || retriableStatus(resp.StatusCode),
+		}
+		if ra, ok := retry.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			ae.RetryAfter = ra
+		}
+		return ae
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)

@@ -1,0 +1,182 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+	"repro/internal/serve"
+)
+
+// scriptedServer answers /v1/sweep with a scripted status sequence (last
+// status repeats) and records attempt times.
+type scriptedServer struct {
+	mu     sync.Mutex
+	script []int
+	times  []time.Time
+	srv    *httptest.Server
+}
+
+func newScripted(t *testing.T, script ...int) *scriptedServer {
+	t.Helper()
+	s := &scriptedServer{script: script}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		code := s.script[min(len(s.times), len(s.script)-1)]
+		s.times = append(s.times, time.Now())
+		s.mu.Unlock()
+		switch code {
+		case 200:
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"job":"j1","status":"queued","cells":1}`))
+		case 429:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(429)
+			w.Write([]byte(`{"error":"queue full","retriable":true}`))
+		default:
+			w.WriteHeader(code)
+			w.Write([]byte(`{"error":"upstream sad"}`))
+		}
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *scriptedServer) attempts() []time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Time(nil), s.times...)
+}
+
+func TestDefaultFailsFastOn429(t *testing.T) {
+	ss := newScripted(t, 429)
+	cl := New(ss.srv.URL)
+	_, err := cl.Sweep(&serve.SweepRequest{Apps: []string{"mp3d"}, Algorithms: []string{"RANDOM"}, Procs: []int{4}})
+	if err == nil {
+		t.Fatal("429 accepted")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s (parsed from header)", ae.RetryAfter)
+	}
+	if got := len(ss.attempts()); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (fail-fast default)", got)
+	}
+}
+
+func TestRetriesThrough429HonoringRetryAfter(t *testing.T) {
+	ss := newScripted(t, 429, 200)
+	cl := New(ss.srv.URL)
+	cl.Policy = retry.Policy{BaseDelay: time.Millisecond, MaxAttempts: 5}
+	acc, err := cl.Sweep(&serve.SweepRequest{Apps: []string{"mp3d"}, Algorithms: []string{"RANDOM"}, Procs: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Job != "j1" {
+		t.Fatalf("job = %q", acc.Job)
+	}
+	ts := ss.attempts()
+	if len(ts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(ts))
+	}
+	// The 1ms backoff must have been floored by the 1s Retry-After.
+	if gap := ts[1].Sub(ts[0]); gap < 900*time.Millisecond {
+		t.Fatalf("retry gap %v ignored Retry-After", gap)
+	}
+}
+
+func TestRetriesTransientGatewayStatuses(t *testing.T) {
+	ss := newScripted(t, 502, 503, 504, 200)
+	cl := New(ss.srv.URL)
+	cl.Policy = retry.Policy{BaseDelay: time.Millisecond, MaxAttempts: 10}
+	if _, err := cl.Sweep(&serve.SweepRequest{Apps: []string{"mp3d"}, Algorithms: []string{"RANDOM"}, Procs: []int{4}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ss.attempts()); got != 4 {
+		t.Fatalf("attempts = %d, want 4", got)
+	}
+}
+
+func TestFinalErrorSurfacesAttempts(t *testing.T) {
+	// The 1s Retry-After floors every delay, so the 50ms budget trips
+	// first; the error must still surface the attempt count.
+	ss := newScripted(t, 429)
+	cl := New(ss.srv.URL)
+	cl.Policy = retry.Policy{BaseDelay: time.Millisecond, MaxAttempts: 3}
+	cl.RetryBudget = 50 * time.Millisecond
+	_, err := cl.Sweep(&serve.SweepRequest{Apps: []string{"mp3d"}, Algorithms: []string{"RANDOM"}, Procs: []int{4}})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("final error does not surface attempts: %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Fatalf("wrapped APIError lost: %v", err)
+	}
+}
+
+func TestExhaustedAttemptsSurfaceCount(t *testing.T) {
+	ss2 := newScripted(t, 503)
+	cl := New(ss2.srv.URL)
+	cl.Policy = retry.Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, MaxAttempts: 3}
+	_, err := cl.Sweep(&serve.SweepRequest{Apps: []string{"mp3d"}, Algorithms: []string{"RANDOM"}, Procs: []int{4}})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v, want attempt count surfaced", err)
+	}
+	if got := len(ss2.attempts()); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+func TestTransportErrorsRetried(t *testing.T) {
+	// A server that dies after accepting the listener: connection refused
+	// from the first attempt.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := srv.URL
+	srv.Close()
+
+	cl := New(deadURL)
+	cl.Policy = retry.Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, MaxAttempts: 3}
+	start := time.Now()
+	_, err := cl.Sweep(&serve.SweepRequest{Apps: []string{"mp3d"}, Algorithms: []string{"RANDOM"}, Procs: []int{4}})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("transport error not retried: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop took %v", elapsed)
+	}
+}
+
+func TestNonRetriableErrorUnchanged(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(400)
+		w.Write([]byte(`{"error":"bad request"}`))
+	}))
+	defer srv.Close()
+	cl := New(srv.URL)
+	cl.Policy = retry.Policy{BaseDelay: time.Millisecond, MaxAttempts: 5}
+	_, err := cl.Sweep(&serve.SweepRequest{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 400 || ae.Retriable {
+		t.Fatalf("err = %v, want plain 400", err)
+	}
+	if strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("non-retriable error wrapped in retry context: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+// The durable tier glue: how the server speaks to the append-only
+// result store (internal/store) and the retrying webhook dispatcher
+// (internal/serve/webhook). Both are optional — a nil Options.Store or
+// Options.Webhooks turns each path into a no-op — and both are owned
+// by the caller (the daemon opens them before NewServer and closes
+// them after Drain).
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve/rescache"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// storedCellVersion versions the store envelope; a decoder seeing a
+// different version treats the record as a miss (recompute), never an
+// error — old segments stay readable as "cold", not "corrupt".
+const storedCellVersion = 1
+
+// storedCell is the JSON envelope of one result in the durable store,
+// keyed by the cell's rescache content address. Key repeats the
+// address inside the payload so a record can never be served under the
+// wrong identity even if an index pointed at the wrong bytes.
+type storedCell struct {
+	V      int             `json:"v"`
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// encodeStoredCell wraps an already-marshaled result for the store.
+func encodeStoredCell(keyHex string, result any) ([]byte, error) {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(storedCell{V: storedCellVersion, Key: keyHex, Result: raw})
+}
+
+// decodeStoredCell unwraps a store payload, verifying version and key
+// identity. dst receives the inner result.
+func decodeStoredCell(keyHex string, payload []byte, dst any) error {
+	var sc storedCell
+	if err := json.Unmarshal(payload, &sc); err != nil {
+		return err
+	}
+	if sc.V != storedCellVersion {
+		return fmt.Errorf("stored cell version %d, want %d", sc.V, storedCellVersion)
+	}
+	if sc.Key != keyHex {
+		return fmt.Errorf("stored cell key %s under address %s", sc.Key, keyHex)
+	}
+	return json.Unmarshal(sc.Result, dst)
+}
+
+// storeGet probes the durable tier for a cell result. Any damage —
+// decode failure, version skew, key mismatch — is a miss, never an
+// error: the caller recomputes, and the store's own CRC layer has
+// already quarantined anything physically corrupt.
+func (s *Server) storeGet(key rescache.Key, sctx obs.SpanContext) *sim.Result {
+	if s.opts.Store == nil {
+		return nil
+	}
+	lookupStart := time.Now()
+	payload, ok := s.opts.Store.Get(store.Key(key))
+	if s.spans != nil && sctx.Valid() {
+		s.spans.AddSpan(sctx, s.opts.ServiceName, "store lookup", lookupStart, time.Now())
+	}
+	if !ok {
+		return nil
+	}
+	var res sim.Result
+	if err := decodeStoredCell(key.String(), payload, &res); err != nil {
+		if s.opts.Log != nil {
+			s.opts.Log.Warn("store record unusable, recomputing", "key", key.String(), "err", err.Error())
+		}
+		return nil
+	}
+	return &res
+}
+
+// storePut writes one fresh result behind the in-memory cache. Write
+// failures are counted by the store and logged, never surfaced to the
+// request — the store is a cache of deterministic computations.
+func (s *Server) storePut(key rescache.Key, res *sim.Result) {
+	if s.opts.Store == nil || res == nil {
+		return
+	}
+	payload, err := encodeStoredCell(key.String(), res)
+	if err != nil {
+		if s.opts.Log != nil {
+			s.opts.Log.Warn("store encode failed", "key", key.String(), "err", err.Error())
+		}
+		return
+	}
+	if err := s.opts.Store.Put(store.Key(key), payload); err != nil && s.opts.Log != nil {
+		s.opts.Log.Warn("store put refused", "key", key.String(), "err", err.Error())
+	}
+}
+
+// WebhookDeliveryID derives the content-addressed delivery ID for one
+// (job, url, terminal status) triple. The same terminal transition
+// re-announced — a restarted daemon re-walking its jobs, an identical
+// sweep resubmitted after completion — maps to the same ID, which the
+// dispatcher's journal deduplicates; receivers see each terminal state
+// at most once per outcome.
+func WebhookDeliveryID(jobID, url, status string) string {
+	sum := rescache.SumStrings("mtsim-webhook-v1", jobID, url, status)
+	return "wh-" + sum.String()[:16]
+}
+
+// notifyJob enqueues the terminal-state webhook for a job submitted
+// with a webhook_url. The body is the JobEvent wire form — the same
+// JSON an SSE subscriber would have received as the final event.
+func (s *Server) notifyJob(j *job, st JobStatus) {
+	if s.opts.Webhooks == nil || j.webhookURL == "" {
+		return
+	}
+	body, err := json.Marshal(JobEventOf(st))
+	if err != nil {
+		return
+	}
+	id := WebhookDeliveryID(j.id, j.webhookURL, st.Status)
+	if err := s.opts.Webhooks.Enqueue(id, j.webhookURL, body); err != nil && s.opts.Log != nil {
+		s.opts.Log.Warn("webhook enqueue failed", "job", j.id, "err", err.Error())
+	}
+}
+
+// syncDurableCounters mirrors the store's and dispatcher's own counters
+// into /metrics at scrape time (they count authoritatively; metrics are
+// a projection, the same contract as the result cache).
+func (s *Server) syncDurableCounters() {
+	if s.opts.Store != nil {
+		ss := s.opts.Store.Stats()
+		s.metrics.storeHits.Set(int64(ss.Hits))
+		s.metrics.storeMisses.Set(int64(ss.Misses))
+		s.metrics.storePuts.Set(int64(ss.Puts))
+		s.metrics.storeQuarantined.Set(int64(ss.Quarantined))
+		s.metrics.storeSegments.Set(int64(ss.SealedSegments))
+	}
+	if s.opts.Webhooks != nil {
+		ws := s.opts.Webhooks.Stats()
+		s.metrics.webhookPending.Set(int64(ws.Pending))
+		s.metrics.webhookDelivered.Set(int64(ws.Delivered))
+		s.metrics.webhookFailed.Set(int64(ws.Failed))
+		s.metrics.webhookRetries.Set(int64(ws.Retries))
+	}
+}

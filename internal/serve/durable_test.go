@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve/webhook"
+	"repro/internal/store"
+)
+
+// sweepBody is the standard small sweep the durable tests submit.
+func sweepBody(webhookURL string) *SweepRequest {
+	return &SweepRequest{
+		Params:     &testParams,
+		Apps:       []string{"MP3D"},
+		Algorithms: []string{"RANDOM", "SHARE-REFS"},
+		Procs:      []int{4},
+		WebhookURL: webhookURL,
+	}
+}
+
+// submitAndWait posts a sweep and polls it to a terminal state.
+func submitAndWait(t *testing.T, base string, req *SweepRequest) JobStatus {
+	t.Helper()
+	resp, data := postJSON(t, base+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, data)
+	}
+	var acc SweepAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	return pollJob(t, base, acc.Job)
+}
+
+// TestStoreTierWarmRestart is the tentpole contract end to end: results
+// computed in one server life are served from disk in the next —
+// byte-identical, marked cached, with zero fresh simulations.
+func TestStoreTierWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	st1, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := newTestServer(t, Options{Workers: 2, Store: st1})
+	first := submitAndWait(t, ts1.URL, sweepBody(""))
+	if first.Status != StatusDone {
+		t.Fatalf("first life: %+v", first)
+	}
+	ts1.Close()
+	s1.Drain()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: fresh server, fresh memory cache, same store dir.
+	st2, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	if st2.Len() == 0 {
+		t.Fatal("store empty after restart; nothing persisted")
+	}
+	s2, ts2 := newTestServer(t, Options{Workers: 2, Store: st2})
+	second := submitAndWait(t, ts2.URL, sweepBody(""))
+	if second.Status != StatusDone {
+		t.Fatalf("second life: %+v", second)
+	}
+
+	if len(first.Results) != len(second.Results) {
+		t.Fatalf("cell counts differ: %d vs %d", len(first.Results), len(second.Results))
+	}
+	for i := range second.Results {
+		if !second.Results[i].Cached {
+			t.Errorf("cell %d not served from the store after restart", i)
+		}
+		if second.Results[i].Key != first.Results[i].Key {
+			t.Errorf("cell %d key drifted: %s vs %s", i, first.Results[i].Key, second.Results[i].Key)
+		}
+		if !reflect.DeepEqual(first.Results[i].Result, second.Results[i].Result) {
+			t.Errorf("cell %d result differs across restart", i)
+		}
+	}
+	if runs := s2.metrics.simRuns.Value(); runs != 0 {
+		t.Errorf("second life simulated %d cells; want 0 (all from store)", runs)
+	}
+	if ss := st2.Stats(); ss.Hits == 0 {
+		t.Errorf("store hits = 0 after warm restart: %+v", ss)
+	}
+}
+
+// TestStoredCellEnvelopeRejectsMismatches: version skew and key
+// mismatch are both misses (recompute), surfaced as decode errors.
+func TestStoredCellEnvelopeRejectsMismatches(t *testing.T) {
+	payload, err := encodeStoredCell("aabb", map[string]int{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst map[string]int
+	if err := decodeStoredCell("aabb", payload, &dst); err != nil || dst["x"] != 1 {
+		t.Fatalf("round trip: %v, %v", dst, err)
+	}
+	if err := decodeStoredCell("ccdd", payload, &dst); err == nil {
+		t.Fatal("key mismatch accepted")
+	}
+	skewed, _ := json.Marshal(storedCell{V: storedCellVersion + 1, Key: "aabb"})
+	if err := decodeStoredCell("aabb", skewed, &dst); err == nil {
+		t.Fatal("version skew accepted")
+	}
+	if err := decodeStoredCell("aabb", []byte("{garbage"), &dst); err == nil {
+		t.Fatal("malformed payload accepted")
+	}
+}
+
+// TestWebhookDeliveredOnCompletion: a sweep submitted with webhook_url
+// gets exactly one terminal POST carrying the job's final JobEvent.
+func TestWebhookDeliveredOnCompletion(t *testing.T) {
+	var mu sync.Mutex
+	var bodies []string
+	var ids []string
+	rc := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, string(body))
+		ids = append(ids, r.Header.Get(webhook.DeliveryHeader))
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer rc.Close()
+
+	wh, err := webhook.New(webhook.Options{JournalPath: filepath.Join(t.TempDir(), "wh.mtj")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wh.Close() })
+	_, whts := newTestServer(t, Options{Workers: 2, Webhooks: wh})
+
+	st := submitAndWait(t, whts.URL, sweepBody(rc.URL))
+	if st.Status != StatusDone {
+		t.Fatalf("sweep: %+v", st)
+	}
+	if !wh.Flush(5 * time.Second) {
+		t.Fatal("webhook delivery did not complete")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 1 {
+		t.Fatalf("receiver saw %d deliveries, want 1: %q", len(bodies), bodies)
+	}
+	var ev JobEvent
+	if err := json.Unmarshal([]byte(bodies[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Job != st.Job || ev.Status != StatusDone || ev.Completed != st.Cells {
+		t.Fatalf("webhook body = %+v, want terminal snapshot of %s", ev, st.Job)
+	}
+	want := WebhookDeliveryID(st.Job, rc.URL, StatusDone)
+	if ids[0] != want {
+		t.Fatalf("delivery header = %q, want %q", ids[0], want)
+	}
+}
+
+// TestWebhookURLValidation: the sweep decoder is the gate.
+func TestWebhookURLValidation(t *testing.T) {
+	base := sweepBody("")
+	for _, tc := range []struct {
+		url string
+		ok  bool
+	}{
+		{"", true},
+		{"http://example.com/hook", true},
+		{"https://example.com/hook", true},
+		{"ftp://example.com/hook", false},
+		{"example.com/hook", false}, // no scheme
+		{"http://", false},          // no host
+		{"http://h/" + strings.Repeat("a", MaxWebhookURLLen), false},
+	} {
+		req := *base
+		req.WebhookURL = tc.url
+		err := req.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("webhook_url %q rejected: %v", tc.url, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("webhook_url %q accepted", tc.url)
+		}
+	}
+}
+
+// TestHealthReportsDurableTiers: /healthz grows store and webhook
+// blocks exactly when the tiers are attached.
+func TestHealthReportsDurableTiers(t *testing.T) {
+	_, bare := newTestServer(t, Options{Workers: 1})
+	var h HealthResponse
+	getJSON(t, bare.URL+"/healthz", &h)
+	if h.Store != nil || h.Webhooks != nil {
+		t.Fatalf("bare server reports durable tiers: %+v", h)
+	}
+
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	wh, err := webhook.New(webhook.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wh.Close() })
+	_, ts := newTestServer(t, Options{Workers: 1, Store: st, Webhooks: wh})
+	submitAndWait(t, ts.URL, sweepBody(""))
+	var h2 HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h2)
+	if h2.Store == nil || h2.Webhooks == nil {
+		t.Fatalf("durable tiers missing from health: %+v", h2)
+	}
+	if h2.Store.Puts == 0 {
+		t.Errorf("store puts = 0 after a completed sweep: %+v", h2.Store)
+	}
+}

@@ -202,6 +202,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	engine := normalizeEngine(req.Engine)
 	params := resolveParams(req.Params)
 	j := newJob(SweepJobID(params, req, engine), params, sweepCells(req, engine))
+	j.webhookURL = req.WebhookURL
 	if s.spans != nil {
 		// Root span for the whole sweep, ended when the job reaches a
 		// terminal state. If the sweep turns out to be a duplicate the
@@ -274,6 +275,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.syncCacheCounters()
+	s.syncDurableCounters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = s.metrics.set.WriteTo(w)
 }

@@ -13,7 +13,9 @@ import (
 	"repro/internal/placement"
 	"repro/internal/resilience"
 	"repro/internal/serve/rescache"
+	"repro/internal/serve/webhook"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -63,6 +65,16 @@ type Options struct {
 	// the initial snapshot and terminal event. Histograms stay on (three
 	// atomic adds per observation).
 	DisableTelemetry bool
+	// Store, when non-nil, is the durable result tier under the in-memory
+	// cache: cache miss → store probe → simulate, with every fresh result
+	// written back. The caller owns the store's lifecycle (Close after
+	// Drain). Nil means memory-only, exactly the pre-store behavior.
+	Store *store.Store
+	// Webhooks, when non-nil, delivers terminal job states to sweeps
+	// submitted with a webhook_url. The caller owns the dispatcher's
+	// lifecycle (Close after Drain). Nil disables webhook delivery
+	// (webhook_url is still validated and accepted, then ignored).
+	Webhooks *webhook.Dispatcher
 	// Log receives operational messages; nil discards them.
 	Log *slog.Logger
 }
@@ -145,6 +157,16 @@ type serverMetrics struct {
 	degraded      *obs.Metric
 	streamDropped *obs.Metric
 
+	storeHits        *obs.Metric
+	storeMisses      *obs.Metric
+	storePuts        *obs.Metric
+	storeQuarantined *obs.Metric
+	storeSegments    *obs.Metric
+	webhookPending   *obs.Metric
+	webhookDelivered *obs.Metric
+	webhookFailed    *obs.Metric
+	webhookRetries   *obs.Metric
+
 	reqLatency *obs.Histogram
 	queueWait  *obs.Histogram
 	engineRate *obs.Histogram
@@ -177,9 +199,20 @@ func newServerMetrics() *serverMetrics {
 		workers:       s.Gauge("serve_workers", "worker pool size"),
 		degraded:      s.Gauge("serve_degraded", "1 once the fast engine is benched"),
 		streamDropped: s.Counter("serve_stream_dropped_events_total", "SSE events dropped on slow subscribers"),
-		reqLatency:    s.Histogram("serve_request_latency_us", "HTTP request latency in microseconds"),
-		queueWait:     s.Histogram("serve_queue_wait_us", "cell time from enqueue to execution start in microseconds"),
-		engineRate:    s.Histogram("serve_engine_cycles_per_sec", "simulated cycles per wall-clock second per engine run"),
+
+		storeHits:        s.Counter("serve_store_hits_total", "durable result store hits"),
+		storeMisses:      s.Counter("serve_store_misses_total", "durable result store misses"),
+		storePuts:        s.Counter("serve_store_puts_total", "results written to the durable store"),
+		storeQuarantined: s.Counter("serve_store_quarantined_total", "store segments quarantined for corruption"),
+		storeSegments:    s.Gauge("serve_store_sealed_segments", "sealed segments in the durable store"),
+		webhookPending:   s.Gauge("serve_webhook_pending", "webhook deliveries awaiting a terminal outcome"),
+		webhookDelivered: s.Counter("serve_webhook_delivered_total", "webhook deliveries acknowledged 2xx"),
+		webhookFailed:    s.Counter("serve_webhook_failed_total", "webhook deliveries failed after exhausting attempts"),
+		webhookRetries:   s.Counter("serve_webhook_retries_total", "webhook delivery attempts beyond the first"),
+
+		reqLatency: s.Histogram("serve_request_latency_us", "HTTP request latency in microseconds"),
+		queueWait:  s.Histogram("serve_queue_wait_us", "cell time from enqueue to execution start in microseconds"),
+		engineRate: s.Histogram("serve_engine_cycles_per_sec", "simulated cycles per wall-clock second per engine run"),
 	}
 }
 
@@ -297,6 +330,7 @@ func (s *Server) Drain() {
 		if n := j.markRetriable(cells); n > 0 {
 			s.metrics.jobsRetriable.Inc()
 			s.publishJob(j)
+			s.notifyJob(j, j.snapshot())
 			if s.opts.Log != nil {
 				s.opts.Log.Info("drain: job marked retriable", "job", j.id, "cells_not_run", n)
 			}
@@ -460,6 +494,7 @@ func (s *Server) runTask(t task) {
 			s.metrics.jobsFailed.Inc()
 		}
 		s.publishJob(t.j)
+		s.notifyJob(t.j, st)
 	}
 }
 
@@ -555,6 +590,20 @@ func (s *Server) runCell(j *job, cell int) cellResultInternal {
 	s.flights[key] = f
 	s.mu.Unlock()
 
+	// Durable tier: a store hit is served (and promoted into the memory
+	// cache) without simulating — this is how a restarted server warm
+	// starts from disk.
+	if res := s.storeGet(key, sctx); res != nil {
+		f.res = res
+		close(f.done)
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		s.cache.Put(key, res)
+		cellSpan.SetNote("store hit")
+		return cellResultInternal{key: keyHex, cached: true, res: res}
+	}
+
 	var engineSpan *obs.ActiveSpan
 	if s.spans != nil && sctx.Valid() {
 		engineSpan = s.spans.Start(sctx, s.opts.ServiceName, "engine "+c.engine)
@@ -584,6 +633,7 @@ func (s *Server) runCell(j *job, cell int) cellResultInternal {
 		return cellResultInternal{key: keyHex, err: err}
 	}
 	s.cache.Put(key, res)
+	s.storePut(key, res)
 	return cellResultInternal{key: keyHex, res: res, counters: counters}
 }
 
@@ -669,6 +719,27 @@ func (s *Server) Health() HealthResponse {
 		h.Status = "degraded"
 		if rep := s.guard.Report(); rep != nil {
 			h.Divergence = rep.String()
+		}
+	}
+	if s.opts.Store != nil {
+		ss := s.opts.Store.Stats()
+		h.Store = &StoreHealth{
+			Entries:        ss.Entries,
+			SealedSegments: ss.SealedSegments,
+			Hits:           ss.Hits,
+			Misses:         ss.Misses,
+			Puts:           ss.Puts,
+			Quarantined:    ss.Quarantined,
+			HitRate:        ss.HitRate(),
+		}
+	}
+	if s.opts.Webhooks != nil {
+		ws := s.opts.Webhooks.Stats()
+		h.Webhooks = &WebhookHealth{
+			Pending:   ws.Pending,
+			Delivered: ws.Delivered,
+			Failed:    ws.Failed,
+			Retries:   ws.Retries,
 		}
 	}
 	if draining {

@@ -1,0 +1,276 @@
+package webhook
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// fastPolicy keeps test schedules tight.
+var fastPolicy = retry.Policy{
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    10 * time.Millisecond,
+	MaxAttempts: 5,
+	Jitter:      -1,
+}
+
+// receiver is an httptest endpoint scripted with per-attempt status
+// codes (the last one repeats); it records bodies and delivery IDs.
+type receiver struct {
+	mu      sync.Mutex
+	script  []int
+	calls   int
+	bodies  []string
+	ids     []string
+	headers []http.Header
+	srv     *httptest.Server
+}
+
+func newReceiver(t *testing.T, script ...int) *receiver {
+	t.Helper()
+	r := &receiver{script: script}
+	r.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		r.mu.Lock()
+		code := r.script[min(r.calls, len(r.script)-1)]
+		r.calls++
+		r.bodies = append(r.bodies, string(body))
+		r.ids = append(r.ids, req.Header.Get(DeliveryHeader))
+		r.headers = append(r.headers, req.Header.Clone())
+		r.mu.Unlock()
+		w.WriteHeader(code)
+	}))
+	t.Cleanup(r.srv.Close)
+	return r
+}
+
+func (r *receiver) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+func mustNew(t *testing.T, opts Options) *Dispatcher {
+	t.Helper()
+	if opts.Policy.MaxAttempts == 0 {
+		opts.Policy = fastPolicy
+	}
+	d, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestDeliverySucceeds(t *testing.T) {
+	rc := newReceiver(t, 200)
+	d := mustNew(t, Options{})
+	if err := d.Enqueue("job-1", rc.srv.URL, []byte(`{"job":"job-1","status":"done"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Flush(5 * time.Second) {
+		t.Fatal("delivery did not complete")
+	}
+	if out, ok := d.Outcome("job-1"); !ok || out != "delivered" {
+		t.Fatalf("Outcome = %q, %v; want delivered", out, ok)
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if len(rc.bodies) != 1 || rc.bodies[0] != `{"job":"job-1","status":"done"}` {
+		t.Fatalf("bodies = %q", rc.bodies)
+	}
+	if rc.ids[0] != "job-1" {
+		t.Fatalf("delivery header = %q, want job-1", rc.ids[0])
+	}
+}
+
+func TestFlappingEndpointRetriedWithBackoff(t *testing.T) {
+	rc := newReceiver(t, 503, 503, 200)
+	d := mustNew(t, Options{})
+	d.Enqueue("flap", rc.srv.URL, []byte(`{}`))
+	if !d.Flush(5 * time.Second) {
+		t.Fatal("delivery did not complete")
+	}
+	if rc.count() != 3 {
+		t.Fatalf("attempts = %d, want 3", rc.count())
+	}
+	st := d.Stats()
+	if st.Delivered != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 1 delivered / 2 retries", st)
+	}
+	// Terminal outcome exactly once even though attempts flapped.
+	if out, _ := d.Outcome("flap"); out != "delivered" {
+		t.Fatalf("outcome = %q", out)
+	}
+}
+
+func TestAttemptsExhaustedIsTerminalFailure(t *testing.T) {
+	rc := newReceiver(t, 500)
+	d := mustNew(t, Options{Policy: retry.Policy{
+		BaseDelay: time.Millisecond, MaxAttempts: 3, Jitter: -1,
+	}, BreakerThreshold: 100})
+	d.Enqueue("dead", rc.srv.URL, []byte(`{}`))
+	if !d.Flush(5 * time.Second) {
+		t.Fatal("delivery never reached terminal state")
+	}
+	out, ok := d.Outcome("dead")
+	if !ok || !strings.Contains(out, "failed after 3 attempts") {
+		t.Fatalf("outcome = %q, %v", out, ok)
+	}
+	if rc.count() != 3 {
+		t.Fatalf("attempts = %d, want 3", rc.count())
+	}
+}
+
+func TestRetryAfterHonoredAsFloor(t *testing.T) {
+	var mu sync.Mutex
+	var times []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		n := len(times)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(429)
+			return
+		}
+		w.WriteHeader(200)
+	}))
+	defer srv.Close()
+
+	d := mustNew(t, Options{})
+	d.Enqueue("ra", srv.URL, []byte(`{}`))
+	if !d.Flush(10 * time.Second) {
+		t.Fatal("delivery did not complete")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < 900*time.Millisecond {
+		t.Fatalf("retry gap %v ignored the 1s Retry-After floor", gap)
+	}
+}
+
+func TestBreakerLimitsDeadEndpointProbes(t *testing.T) {
+	rc := newReceiver(t, 500)
+	d := mustNew(t, Options{
+		Policy: retry.Policy{
+			BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+			MaxAttempts: 100, Jitter: -1,
+		},
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second,
+	})
+	d.Enqueue("probe", rc.srv.URL, []byte(`{}`))
+	time.Sleep(300 * time.Millisecond)
+	// Threshold 2, 10s cooldown: without the breaker ~100 attempts would
+	// land in 300ms of 1-2ms backoff; with it only the first two may.
+	if got := rc.count(); got > 2 {
+		t.Fatalf("dead endpoint hit %d times; breaker never engaged", got)
+	}
+	if st := d.Stats(); st.BreakerWaits == 0 {
+		t.Fatalf("BreakerWaits = 0, want > 0: %+v", st)
+	}
+}
+
+func TestJournalReplayResumesPending(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "webhooks.mtj")
+
+	// First life: endpoint is down hard (connection refused), dispatcher
+	// closed mid-retry with the delivery still pending.
+	closed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := closed.URL
+	closed.Close()
+
+	d1, err := New(Options{JournalPath: journal, Policy: retry.Policy{
+		BaseDelay: 50 * time.Millisecond, MaxAttempts: 50, Jitter: -1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Enqueue("restart-me", deadURL, []byte(`{"job":"restart-me"}`))
+	time.Sleep(20 * time.Millisecond)
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Pending() != 1 {
+		t.Fatalf("pending after close = %d, want 1", d1.Pending())
+	}
+
+	// Second life: endpoint is healthy; the replayed delivery completes.
+	rc := newReceiver(t, 200)
+	d2, err := New(Options{JournalPath: journal, Policy: fastPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Pending() != 1 {
+		t.Fatalf("replayed pending = %d, want 1", d2.Pending())
+	}
+	// The journaled URL points at the dead server; re-enqueueing the same
+	// ID with a live URL must dedupe (the original stands)... so instead
+	// redirect by replacing: the pending delivery still targets deadURL.
+	// Deliveries to unreachable endpoints keep retrying; here we only
+	// assert the replay happened and dedup holds.
+	if err := d2.Enqueue("restart-me", rc.srv.URL, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if st := d2.Stats(); st.Deduped != 1 {
+		t.Fatalf("Deduped = %d, want 1 (pending survives restart exactly once)", st.Deduped)
+	}
+}
+
+func TestNoDuplicateTerminalDeliveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "webhooks.mtj")
+	rc := newReceiver(t, 200)
+
+	d1, err := New(Options{JournalPath: journal, Policy: fastPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Enqueue("once", rc.srv.URL, []byte(`{"job":"once"}`))
+	if !d1.Flush(5 * time.Second) {
+		t.Fatal("delivery did not complete")
+	}
+	d1.Close()
+
+	// Restart and re-enqueue the same terminal event (a restarted daemon
+	// re-walking its jobs does exactly this): the journaled done record
+	// must suppress redelivery.
+	d2, err := New(Options{JournalPath: journal, Policy: fastPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	d2.Enqueue("once", rc.srv.URL, []byte(`{"job":"once"}`))
+	d2.Flush(time.Second)
+	if rc.count() != 1 {
+		t.Fatalf("receiver saw %d deliveries, want exactly 1", rc.count())
+	}
+	if out, ok := d2.Outcome("once"); !ok || out != "delivered" {
+		t.Fatalf("outcome lost across restart: %q, %v", out, ok)
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	d := mustNew(t, Options{})
+	if err := d.Enqueue("", "http://example.invalid", []byte(`{}`)); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := d.Enqueue("big", "http://example.invalid", make([]byte, maxBodyBytes+1)); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
