@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test verify lint racecheck bench benchsim benchserve benchcluster fuzz golden faultcheck servecheck clustercheck tracecheck storecheck
+.PHONY: build test verify lint racecheck bench benchsim benchserve benchcluster benchadvise fuzz golden faultcheck servecheck clustercheck tracecheck storecheck advisecheck
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test:
 # guard fails the build.
 lint:
 	$(GO) run ./cmd/mtlint ./...
-	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/store ./internal/retry ./internal/cluster ./internal/obs
+	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/store ./internal/retry ./internal/cluster ./internal/obs ./internal/advise
 
 # Race tier: the serving, durability, cluster and telemetry suites under
 # the race detector. -short trims the chaos matrix to one scenario so the
@@ -30,10 +30,10 @@ lint:
 racecheck:
 	$(GO) test -race -short ./internal/serve/... ./internal/store ./internal/retry ./cmd/mtserve ./internal/cluster ./internal/obs
 
-verify: faultcheck servecheck clustercheck tracecheck storecheck
+verify: faultcheck servecheck clustercheck tracecheck storecheck advisecheck
 	$(GO) vet ./...
 	$(GO) run ./cmd/mtlint ./...
-	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/store ./internal/retry ./internal/cluster ./internal/obs
+	$(GO) run ./cmd/mtlint -census ./internal/serve/... ./internal/store ./internal/retry ./internal/cluster ./internal/obs ./internal/advise
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test -race -timeout 30m ./...
@@ -106,6 +106,28 @@ storecheck:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Online adaptive placement tier (DESIGN.md §16): the advisor package
+# (ONLINE name grammar, policies, recommendation math), the engines'
+# online differential suite (interval-off == static, cycle for cycle, on
+# both engines) and checkpoint round-trips, the guard's online path, the
+# /v1/advise API differentials on worker and coordinator, and the phased
+# crossover smoke — online must beat the best static placement on the
+# phase-changing workload with the migration penalty charged.
+advisecheck:
+	$(GO) test ./internal/advise
+	$(GO) test ./internal/sim -run 'TestOnline|TestCheckpoint|TestRunOnline'
+	$(GO) test ./internal/resilience -run 'TestEngineGuardRunOnline'
+	$(GO) test ./internal/serve -run 'TestAdvise|TestSimulateOnline|TestSweepOnline'
+	$(GO) test ./internal/cluster -run 'TestClusterAdvise'
+	$(GO) test -short ./cmd/experiments -run 'TestAdvise'
+
+# Regenerate BENCH_advise.json: the static-vs-online kernel grid through
+# /v1/sweep plus the phased-workload migration-cost crossover. Hard-fails
+# unless online beats the best static placement somewhere in the swept
+# (interval, cost) grid.
+benchadvise:
+	$(GO) run ./cmd/experiments -advise BENCH_advise.json -scale 0.25
 
 # Regenerate BENCH_sim.json: reference vs fast engine throughput plus the
 # memoized-sweep timings.

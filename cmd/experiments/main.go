@@ -175,6 +175,7 @@ func main() {
 		crossCheck = flag.Int("crosscheck", 0, "cross-check every Nth simulation against the reference engine (0 = off)")
 		remote     = flag.String("remote", "", "run simulations on the mtserve instance at this base URL (e.g. http://127.0.0.1:8080)")
 		bsim       = flag.String("benchsim", "", "benchmark the reference vs fast simulation engines and save the comparison as JSON")
+		badvise    = flag.String("advise", "", "evaluate online adaptive placement (static-vs-online kernel sweep + phased crossover) and save the gated report as JSON")
 		timeline   = flag.String("timeline", "", "simulate one representative run and write its Perfetto timeline JSON to this file")
 		progress   = flag.Duration("progress", 0, "log a progress heartbeat at this interval (e.g. 10s) while sweeps run")
 		verbose    = flag.Bool("v", false, "verbose diagnostics")
@@ -230,6 +231,8 @@ func main() {
 	switch {
 	case *bsim != "":
 		err = benchSim(*scale, *seed, *procs, *bsim)
+	case *badvise != "":
+		err = benchAdvise(*scale, *seed, *badvise)
 	case *timeline != "":
 		err = timelineRun(*scale, *seed, *procs, *timeline, log)
 	default:
@@ -588,7 +591,7 @@ func run(cfg sweepCfg) (degraded bool, err error) {
 		}
 	}
 	if !ran {
-		return false, obs.Usagef("nothing selected: use -all, -table N, -figure N, -ablation NAME, -json FILE, -benchsim FILE or -timeline FILE")
+		return false, obs.Usagef("nothing selected: use -all, -table N, -figure N, -ablation NAME, -json FILE, -benchsim FILE, -advise FILE or -timeline FILE")
 	}
 	if guard != nil && guard.Degraded() {
 		fmt.Fprintf(cfg.out, "WARNING: %s\n", guard.Report())

@@ -1,0 +1,134 @@
+package advise
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+// Virtual online algorithm names. The service tier sweeps online
+// configurations through the same /v1/sweep machinery as static
+// algorithms by encoding the whole online configuration in the
+// algorithm name:
+//
+//	ONLINE/<policy>@i=<interval>,c=<cost>[,seed=<static-alg>]
+//
+// e.g. "ONLINE/COHERENCE@i=200000,c=5000" or
+// "ONLINE/HYST@i=100000,c=2000,seed=SHARE-REFS". Because the name flows
+// into placement.Placement.Algorithm and from there into
+// core.PlacementKey, every cache, store and cluster-shard key is online
+// parameter aware with zero wire-protocol changes.
+
+// OnlinePrefix marks a virtual online algorithm name.
+const OnlinePrefix = "ONLINE/"
+
+// DefaultSeed is the static placement an online run starts from when
+// the name does not pick one: the paper's load-balancing baseline, i.e.
+// "online starts where a sharing-oblivious scheduler would".
+const DefaultSeed = "LOAD-BAL"
+
+// OnlineSpec is a parsed virtual online algorithm name.
+type OnlineSpec struct {
+	// Policy is an online policy name (see PolicyNames).
+	Policy string
+	// Interval is the detection interval in cycles (> 0).
+	Interval uint64
+	// Penalty is the per-thread migration cost in cycles.
+	Penalty uint64
+	// Seed is the static algorithm providing the starting placement.
+	Seed string
+}
+
+// String renders the canonical name: parse→String is idempotent, and
+// the default seed is omitted to keep names (and cache keys) stable.
+func (s OnlineSpec) String() string {
+	name := fmt.Sprintf("%s%s@i=%d,c=%d", OnlinePrefix, s.Policy, s.Interval, s.Penalty)
+	if s.Seed != "" && s.Seed != DefaultSeed {
+		name += ",seed=" + s.Seed
+	}
+	return name
+}
+
+// Validate checks the spec against the policy and algorithm registries.
+func (s OnlineSpec) Validate() error {
+	if _, err := PolicyByName(s.Policy); err != nil {
+		return err
+	}
+	if s.Interval == 0 {
+		return fmt.Errorf("advise: %s: detection interval must be positive", s.String())
+	}
+	seed := s.Seed
+	if seed == "" {
+		seed = DefaultSeed
+	}
+	if _, err := placement.ByName(seed); err != nil {
+		return fmt.Errorf("advise: online seed: %w", err)
+	}
+	return nil
+}
+
+// Options resolves the spec into engine options.
+func (s OnlineSpec) Options() (sim.OnlineOptions, error) {
+	p, err := PolicyByName(s.Policy)
+	if err != nil {
+		return sim.OnlineOptions{}, err
+	}
+	return sim.OnlineOptions{Interval: s.Interval, Penalty: s.Penalty, Policy: p}, nil
+}
+
+// SeedAlgorithm returns the effective seed algorithm name.
+func (s OnlineSpec) SeedAlgorithm() string {
+	if s.Seed == "" {
+		return DefaultSeed
+	}
+	return s.Seed
+}
+
+// IsOnlineAlgorithm reports whether name uses the virtual grammar.
+func IsOnlineAlgorithm(name string) bool { return strings.HasPrefix(name, OnlinePrefix) }
+
+// ParseOnlineAlgorithm parses a virtual online algorithm name. ok is
+// false (with a nil error) when name is not an ONLINE/… name at all;
+// a malformed ONLINE/… name returns an error.
+func ParseOnlineAlgorithm(name string) (spec OnlineSpec, ok bool, err error) {
+	if !IsOnlineAlgorithm(name) {
+		return OnlineSpec{}, false, nil
+	}
+	rest := name[len(OnlinePrefix):]
+	policy, params, found := strings.Cut(rest, "@")
+	if !found || policy == "" {
+		return OnlineSpec{}, false, fmt.Errorf("advise: malformed online algorithm %q: want %sPOLICY@i=N,c=N", name, OnlinePrefix)
+	}
+	spec = OnlineSpec{Policy: policy}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(params, ",") {
+		k, v, found := strings.Cut(kv, "=")
+		if !found || v == "" {
+			return OnlineSpec{}, false, fmt.Errorf("advise: malformed online parameter %q in %q", kv, name)
+		}
+		if seen[k] {
+			return OnlineSpec{}, false, fmt.Errorf("advise: duplicate online parameter %q in %q", k, name)
+		}
+		seen[k] = true
+		switch k {
+		case "i":
+			spec.Interval, err = strconv.ParseUint(v, 10, 64)
+		case "c":
+			spec.Penalty, err = strconv.ParseUint(v, 10, 64)
+		case "seed":
+			spec.Seed = v
+		default:
+			return OnlineSpec{}, false, fmt.Errorf("advise: unknown online parameter %q in %q", k, name)
+		}
+		if err != nil {
+			return OnlineSpec{}, false, fmt.Errorf("advise: bad online parameter %q in %q: %w", kv, name, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return OnlineSpec{}, false, err
+	}
+	return spec, true, nil
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"path/filepath"
@@ -275,6 +276,72 @@ func TestClusterSimulateProxyMatchesWorker(t *testing.T) {
 		if gotResp.Key != wantResp.Key {
 			t.Errorf("request %d: result key %q via coordinator, %q direct", i, gotResp.Key, wantResp.Key)
 		}
+	}
+}
+
+// TestClusterAdviseProxyMatchesWorker: /v1/advise through the
+// coordinator returns exactly what a worker answers directly, for both
+// the measured app source and a client-supplied pair matrix; a malformed
+// request is rejected with the worker's own status mirrored.
+func TestClusterAdviseProxyMatchesWorker(t *testing.T) {
+	tc := startCluster(t, 3, serve.Options{Workers: 2})
+	params := serve.Params{Scale: testScale, Seed: testSeed}
+	direct := client.New(tc.workers[0].ts.URL)
+	viaCoord := tc.client()
+
+	reqs := []*serve.AdviseRequest{
+		{Params: &params, App: "MP3D", Procs: 4},
+		{Pair: [][]uint64{
+			{0, 0, 500, 0},
+			{0, 0, 0, 500},
+			{500, 0, 0, 0},
+			{0, 500, 0, 0},
+		},
+			Lengths:    []uint64{10, 10, 10, 10},
+			Procs:      2,
+			Current:    &serve.PlacementSpec{Algorithm: "SEED", Clusters: [][]int{{0, 1}, {2, 3}}},
+			MemLatency: 30},
+	}
+	for i, req := range reqs {
+		want, err := direct.Advise(req)
+		if err != nil {
+			t.Fatalf("request %d direct: %v", i, err)
+		}
+		got, err := viaCoord.Advise(req)
+		if err != nil {
+			t.Fatalf("request %d via coordinator: %v", i, err)
+		}
+		// The trace ID is per-request telemetry; everything else must
+		// proxy through untouched.
+		want.Trace, got.Trace = "", ""
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("request %d: coordinator advise diverged from direct worker answer", i)
+		}
+	}
+
+	// A client error is the worker's verdict, mirrored — not a 503.
+	_, err := viaCoord.Advise(&serve.AdviseRequest{Params: &params, App: "NoSuchApp", Procs: 4})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Errorf("unknown app through coordinator: %v, want a mirrored 400", err)
+	}
+
+	// Advise keeps working after the preferred worker dies: the
+	// coordinator fails over to another candidate.
+	req := &serve.AdviseRequest{Params: &params, App: "Gauss", Procs: 2}
+	want, err := viaCoord.Advise(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.workers[0].kill()
+	tc.workers[1].kill()
+	got, err := viaCoord.Advise(req)
+	if err != nil {
+		t.Fatalf("advise after killing two workers: %v", err)
+	}
+	want.Trace, got.Trace = "", ""
+	if !reflect.DeepEqual(got, want) {
+		t.Error("failover advise answer differs")
 	}
 }
 

@@ -23,6 +23,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", c.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	mux.HandleFunc("POST /v1/advise", c.handleAdvise)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleJobEvents)
 	mux.HandleFunc("GET /v1/trace/{id}", c.handleTrace)
@@ -165,6 +166,67 @@ func (c *Coordinator) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		var ae *client.APIError
 		if errors.As(err, &ae) {
 			// The worker answered; mirror its verdict to the caller.
+			writeError(w, ae.Status, ae.Message, ae.Retriable)
+			return
+		}
+		c.markDead(wk, err)
+	}
+	writeError(w, http.StatusServiceUnavailable, "every candidate worker failed", true)
+}
+
+// handleAdvise proxies an advisor request to the rendezvous-preferred
+// worker — keyed by the request's sharing source, so repeated advice on
+// the same catalog app lands on the worker whose suite already memoized
+// that app's measurement — failing over like handleSimulate.
+func (c *Coordinator) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if c.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errDraining.Error(), true)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, serve.MaxRequestBytes)
+	req, err := serve.DecodeAdviseRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+
+	params := resolveParams(req.Params)
+	key := CellShardKey(params, req.App, "ADVISE", req.Procs, false, normalizeEngine(req.Engine))
+
+	now := time.Now()
+	live := c.liveWorkerIDs(now)
+	if len(live) == 0 {
+		writeError(w, http.StatusServiceUnavailable, errNoWorkers.Error(), true)
+		return
+	}
+	sort.Slice(live, func(i, k int) bool {
+		si, sk := rendezvousScore(key, live[i]), rendezvousScore(key, live[k])
+		if si != sk {
+			return si > sk
+		}
+		return live[i] < live[k]
+	})
+	var proxySpan *obs.ActiveSpan
+	trace := ""
+	if c.spans != nil {
+		proxySpan = c.spans.Start(c.traceFromRequest(r), coordService, "proxy advise")
+		defer proxySpan.End()
+		trace = proxySpan.Context().HeaderValue()
+		w.Header().Set(obs.TraceHeader, trace)
+	}
+	for _, wid := range live {
+		wk := c.workerByID(wid)
+		if wk == nil {
+			continue
+		}
+		resp, err := wk.client().AdviseTrace(req, trace)
+		if err == nil {
+			proxySpan.SetNote("worker " + wid)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		var ae *client.APIError
+		if errors.As(err, &ae) {
 			writeError(w, ae.Status, ae.Message, ae.Retriable)
 			return
 		}

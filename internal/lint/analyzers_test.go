@@ -48,6 +48,10 @@ func TestDeterminismWebhookFixture(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "determinism/internal/serve/webhook")
 }
 
+func TestDeterminismAdviseFixture(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "determinism/internal/advise")
+}
+
 // TestDeterminismOutOfScope runs the determinism analyzer over a package
 // outside its scope lists: wall clock, global rand and map-ordered output
 // are all someone else's problem there, so the fixture has no want

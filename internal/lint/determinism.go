@@ -11,7 +11,7 @@ import (
 // inputs produce bit-identical results and byte-identical reports.
 //
 // In the simulation packages (internal/sim, internal/workload,
-// internal/placement) and the serving result cache
+// internal/placement, internal/advise) and the serving result cache
 // (internal/serve/rescache) it forbids wall-clock reads (time.Now) and
 // the process-global math/rand source (rand.Intn etc. — rand.New with an
 // explicit rand.NewSource seed is the sanctioned idiom).
@@ -35,7 +35,11 @@ var Determinism = &Analyzer{
 // reproducibility contract: a wall-clock LRU timestamp or a randomized
 // eviction tiebreak would make a server's cache state — and therefore
 // the Cached flag and hit-rate benchmarks — depend on when it ran.
-var determinismTimeRandScope = []string{"internal/sim", "internal/workload", "internal/placement", "internal/serve/rescache"}
+// internal/advise is here because its online policies run inside the
+// engines' cycle-exact loop: the differential harness replays the same
+// policy on both engines and requires identical decisions, which a wall
+// clock or an unseeded random tiebreak would break.
+var determinismTimeRandScope = []string{"internal/sim", "internal/workload", "internal/placement", "internal/serve/rescache", "internal/advise"}
 
 // determinismMapOrderScope lists package-path suffixes where map iteration
 // must not feed output or order-sensitive accumulation. internal/cluster

@@ -1,0 +1,39 @@
+// Package advise is the determinism fixture for the placement-advisor
+// scope: online policies run inside the engines' cycle-exact loop, so
+// wall clocks and the process-global random source are forbidden. The
+// fixture's import path ends in internal/advise, which puts it in the
+// analyzer's time/rand scope.
+package advise
+
+import (
+	"math/rand"
+	"time"
+)
+
+// decideAt stamps a decision with the wall clock: forbidden, decisions
+// must be a function of the checkpoint alone.
+func decideAt() int64 {
+	return time.Now().Unix() // want `time\.Now is wall-clock`
+}
+
+// tiebreak uses the global source: the two engines would see different
+// placements for the same checkpoint.
+func tiebreak(n int) int {
+	return rand.Intn(n) // want `rand\.Intn uses a process-global random source`
+}
+
+// jitter uses the global source through the float entry point.
+func jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 uses a process-global random source`
+}
+
+// seededTiebreak is the sanctioned idiom: derive the seed from the
+// checkpoint, keep the generator local.
+func seededTiebreak(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}
+
+// elapsed is fine: duration arithmetic without reading the clock.
+func elapsed(a, b time.Duration) time.Duration {
+	return a - b
+}

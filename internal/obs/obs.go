@@ -114,6 +114,10 @@ type Probe interface {
 	// robustness layer, not the architectural simulation, and are always
 	// cold-path.
 	Fault(t uint64, kind FaultKind)
+	// Migrate: online adaptive placement moved a thread from processor
+	// from to processor to at a detection boundary at time t. Emitted
+	// only by online runs (sim.RunOnlineGuarded), always cold-path.
+	Migrate(t uint64, thread, from, to int)
 }
 
 // multi fans events out to several probes in order.
@@ -215,6 +219,7 @@ type Counter struct {
 	Switches      uint64
 	QueueSamples  uint64
 	Faults        [NumFaultKinds]uint64
+	Migrations    uint64
 	MaxQueueDepth int
 	ExecTime      uint64
 	Meta          RunMeta

@@ -42,6 +42,11 @@ type Sampler struct {
 	// — but they surface as Table() metadata so timelines show them.
 	faults        []FaultMark
 	faultsDropped int
+	// migrations is the bounded side list of online-placement migration
+	// marks (see migrate.go), kept out of Sample for the same reason as
+	// faults.
+	migrations        []MigrateMark
+	migrationsDropped int
 }
 
 // FaultMark is one fault event observed during a run.

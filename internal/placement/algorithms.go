@@ -221,8 +221,10 @@ func sharingMetrics() []Metric {
 
 // All returns every static placement algorithm in the paper's order:
 // the six sharing-based algorithms, LOAD-BAL, the six "+LB" variants, and
-// RANDOM. (The dynamic COHERENCE algorithm needs measured traffic; build it
-// with CoherenceTraffic.)
+// RANDOM. The dynamic COHERENCE algorithm is not listed because it needs a
+// measured traffic matrix: between runs, build it with CoherenceTraffic;
+// mid-run, the advise package's online policies feed the same metric from
+// live engine checkpoints (sim.RunOnlineGuarded).
 func All() []Algorithm {
 	var algs []Algorithm
 	for _, m := range sharingMetrics() {

@@ -161,6 +161,64 @@ func (g *EngineGuard) RunCell(tr *trace.Trace, pl *placement.Placement, cfg sim.
 	return ref, nil
 }
 
+// RunOnline is RunCell for online adaptive-placement cells: the same
+// fast-first/cross-check/bench discipline, with sim.RunOnlineGuarded on
+// both sides so the sampled reference run replays the identical
+// boundary decisions and migrations. With opts disabled this is exactly
+// RunCell — sim.RunOnlineGuarded delegates to sim.RunGuarded.
+func (g *EngineGuard) RunOnline(tr *trace.Trace, pl *placement.Placement, cfg sim.Config, opts sim.OnlineOptions, probe obs.Probe, guard sim.Guard) (*sim.Result, error) {
+	g.mu.Lock()
+	g.runs++
+	run := g.runs
+	degraded := g.degraded
+	check := !degraded && g.SampleEvery > 0 && run%uint64(g.SampleEvery) == 0
+	if check {
+		g.crossChecks++
+	}
+	g.mu.Unlock()
+
+	if degraded {
+		return sim.RunOnlineGuarded(tr, pl, cfg, sim.ReferenceEngine, opts, probe, guard)
+	}
+	fast, err := sim.RunOnlineGuarded(tr, pl, cfg, sim.FastEngine, opts, probe, guard)
+	if err != nil {
+		return nil, err
+	}
+	if !check {
+		return fast, nil
+	}
+	ref, err := sim.RunOnlineGuarded(tr, pl, cfg, sim.ReferenceEngine, opts, nil, guard)
+	if err != nil {
+		return nil, err
+	}
+	if reflect.DeepEqual(fast, ref) {
+		return fast, nil
+	}
+
+	rep := DivergenceReport{
+		App: tr.App, Algorithm: pl.Algorithm, Processors: cfg.Processors,
+		RunIndex: run, FastExec: fast.ExecTime, RefExec: ref.ExecTime,
+		Detail: divergenceDetail(fast, ref),
+	}
+	g.mu.Lock()
+	first := !g.degraded
+	if first {
+		g.degraded = true
+		g.report = &rep
+	}
+	if g.Probe != nil {
+		g.Probe.Fault(ref.ExecTime, obs.FaultDivergence)
+		if first {
+			g.Probe.Fault(ref.ExecTime, obs.FaultFallback)
+		}
+	}
+	g.mu.Unlock()
+	if first && g.OnFallback != nil {
+		g.OnFallback(rep)
+	}
+	return ref, nil
+}
+
 // RunDynamic simulates a dynamic-scheduling cell under the guard's
 // watchdog. Dynamic runs always execute on the reference machine, so
 // there is no engine pair to cross-check — only the step budget applies.

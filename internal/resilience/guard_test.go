@@ -189,6 +189,114 @@ func TestEngineGuardConcurrent(t *testing.T) {
 	}
 }
 
+// guardRotate migrates every thread one processor right at each
+// boundary — enough churn that any cross-engine skew becomes visible.
+type guardRotate struct{}
+
+func (guardRotate) Name() string { return "ROTATE" }
+func (guardRotate) Decide(ck *sim.OnlineCheckpoint, env sim.OnlineEnv) []int {
+	want := make([]int, len(ck.Assign))
+	for t, q := range ck.Assign {
+		want[t] = q
+		if q >= 0 {
+			want[t] = (q + 1) % env.Procs
+		}
+	}
+	return want
+}
+
+// TestEngineGuardRunOnlineDisabled: zero online options make RunOnline
+// exactly RunCell — static results, no Online stats, normal sampling.
+func TestEngineGuardRunOnlineDisabled(t *testing.T) {
+	tr, pl, cfg := guardCell()
+	want, err := sim.Run(tr, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &EngineGuard{SampleEvery: 2}
+	for i := 0; i < 4; i++ {
+		got, err := g.RunOnline(tr, pl, cfg, sim.OnlineOptions{}, nil, sim.Guard{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Online != nil {
+			t.Fatal("disabled online run carries Online stats")
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: disabled RunOnline differs from static run", i)
+		}
+	}
+	if runs, checks := g.Stats(); runs != 4 || checks != 2 {
+		t.Errorf("runs/checks = %d/%d, want 4/2", runs, checks)
+	}
+}
+
+// TestEngineGuardRunOnlineHealthy: agreeing engines pass the sampled
+// cross-check with migrations in flight.
+func TestEngineGuardRunOnlineHealthy(t *testing.T) {
+	tr, pl, cfg := guardCell()
+	opts := sim.OnlineOptions{Interval: 300, Penalty: 16, Policy: guardRotate{}}
+	want, err := sim.RunOnlineGuarded(tr, pl, cfg, sim.ReferenceEngine, opts, nil, sim.Guard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Online == nil || want.Online.Migrations == 0 {
+		t.Fatal("workload produced no migrations; test is vacuous")
+	}
+	g := &EngineGuard{SampleEvery: 1}
+	for i := 0; i < 3; i++ {
+		got, err := g.RunOnline(tr, pl, cfg, opts, nil, sim.Guard{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: guarded online result differs from reference", i)
+		}
+	}
+	if g.Degraded() {
+		t.Error("agreeing online engines tripped the guard")
+	}
+}
+
+// TestEngineGuardRunOnlineCatchesFault: a corrupted fast engine is
+// benched on an online run and the reference result is served instead.
+func TestEngineGuardRunOnlineCatchesFault(t *testing.T) {
+	tr, pl, cfg := guardCell()
+	opts := sim.OnlineOptions{Interval: 300, Penalty: 16, Policy: guardRotate{}}
+	want, err := sim.RunOnlineGuarded(tr, pl, cfg, sim.ReferenceEngine, opts, nil, sim.Guard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := sim.SetFastEngineFault(func(r *sim.Result) { r.ExecTime += 7 })
+	defer sim.SetFastEngineFault(prev)
+
+	var fallbacks int
+	g := &EngineGuard{SampleEvery: 1, OnFallback: func(DivergenceReport) { fallbacks++ }}
+	got, err := g.RunOnline(tr, pl, cfg, opts, nil, sim.Guard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("divergent online run did not return the reference result")
+	}
+	if !g.Degraded() || g.Report() == nil {
+		t.Fatal("online divergence did not trip the guard")
+	}
+	// Degraded: later runs (online and static) stay on the reference
+	// engine and remain correct despite the broken fast engine.
+	got, err = g.RunOnline(tr, pl, cfg, opts, nil, sim.Guard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("degraded online run returned wrong result")
+	}
+	if fallbacks != 1 {
+		t.Errorf("OnFallback fired %d times, want 1", fallbacks)
+	}
+}
+
 func TestEngineGuardWatchdog(t *testing.T) {
 	tr, pl, cfg := guardCell()
 	g := &EngineGuard{Guard: sim.Guard{MaxSteps: 20}}

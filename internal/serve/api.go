@@ -3,6 +3,7 @@
 //
 //	POST /v1/simulate   one (app, placement, config) cell, synchronous
 //	POST /v1/sweep      a cell cross-product, asynchronous: returns a job ID
+//	POST /v1/advise     recommend a placement from measured sharing, synchronous
 //	GET  /v1/jobs/{id}  poll a sweep job's status and results
 //	GET  /v1/placements catalog of apps, placement algorithms, engines
 //	GET  /healthz       liveness, queue/worker/cache state, degradation
@@ -25,6 +26,7 @@ import (
 	"io"
 	"net/url"
 
+	"repro/internal/advise"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sim"
@@ -411,6 +413,20 @@ func validateEngine(e string) error {
 	return fmt.Errorf("unknown engine %q (want one of %v)", e, Engines())
 }
 
+// validateAlgorithmName accepts a server-side algorithm name: a static
+// algorithm from the placement registry, or a virtual ONLINE/… name (see
+// the advise package) naming an online adaptive-placement configuration.
+func validateAlgorithmName(alg string) error {
+	if len(alg) > MaxNameLen {
+		return fmt.Errorf("algorithm name longer than %d bytes", MaxNameLen)
+	}
+	if _, ok, err := advise.ParseOnlineAlgorithm(alg); ok || err != nil {
+		return err
+	}
+	_, err := placement.ByName(alg)
+	return err
+}
+
 func validateApp(app string) error {
 	if app == "" {
 		return errors.New("app is required")
@@ -444,10 +460,7 @@ func (r *SimulateRequest) Validate() error {
 	case r.Algorithm == "" && r.Placement == nil:
 		return errors.New("one of algorithm or placement is required")
 	case r.Algorithm != "":
-		if len(r.Algorithm) > MaxNameLen {
-			return fmt.Errorf("algorithm name longer than %d bytes", MaxNameLen)
-		}
-		if _, err := placement.ByName(r.Algorithm); err != nil {
+		if err := validateAlgorithmName(r.Algorithm); err != nil {
 			return err
 		}
 	default:
@@ -523,10 +536,7 @@ func (r *SweepRequest) Validate() error {
 		}
 	}
 	for _, alg := range r.Algorithms {
-		if len(alg) > MaxNameLen {
-			return fmt.Errorf("algorithm name longer than %d bytes", MaxNameLen)
-		}
-		if _, err := placement.ByName(alg); err != nil {
+		if err := validateAlgorithmName(alg); err != nil {
 			return err
 		}
 	}

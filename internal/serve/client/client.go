@@ -234,6 +234,27 @@ func (c *Client) SimulateTrace(req *serve.SimulateRequest, trace string) (*serve
 	return &out, nil
 }
 
+// Advise asks the placement advisor for a recommendation: the
+// COHERENCE clustering of the request's sharing source (catalog app,
+// observed MTT2 trace, or live pair matrix) with predicted savings over
+// the caller's current placement.
+func (c *Client) Advise(req *serve.AdviseRequest) (*serve.AdviseResponse, error) {
+	return c.AdviseTrace(req, "")
+}
+
+// AdviseTrace is Advise joining an existing distributed trace (the
+// coordinator's proxy path, like SimulateTrace).
+func (c *Client) AdviseTrace(req *serve.AdviseRequest, trace string) (*serve.AdviseResponse, error) {
+	var out serve.AdviseResponse
+	if err := c.postTrace("/v1/advise", req, &out, trace); err != nil {
+		return nil, err
+	}
+	if out.Placement == nil {
+		return nil, errors.New("mtserve: advise reply without a placement")
+	}
+	return &out, nil
+}
+
 // Spans fetches the raw span list for one trace ID. An unknown trace is
 // not an error — it returns an empty slice, so a coordinator can merge
 // worker stores best-effort.

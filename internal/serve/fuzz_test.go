@@ -65,6 +65,65 @@ func FuzzDecodeRequest(f *testing.F) {
 	})
 }
 
+// FuzzDecodeAdviseRequest holds the advisor's decoder to the same
+// total-robustness bar: the pair-matrix and trace payloads are the
+// largest attacker-controlled structures the server accepts, so any
+// input must either validate (bounded) or fail cleanly.
+func FuzzDecodeAdviseRequest(f *testing.F) {
+	seeds := []string{
+		// Valid bodies, one per sharing source.
+		`{"app":"MP3D","procs":4}`,
+		`{"params":{"scale":0.25,"seed":1994},"app":"Water","procs":8,"engine":"reference"}`,
+		`{"pair":[[0,5],[5,0]],"lengths":[10,12],"procs":2}`,
+		`{"pair":[[0,1],[1,0]],"lengths":[1,1],"procs":2,` +
+			`"current":{"algorithm":"X","clusters":[[0],[1]]},"mem_latency":30}`,
+		`{"trace_mtt2":"TVRUMg==","procs":2}`,
+		// Shapes the decoder must reject gracefully.
+		``,
+		`null`,
+		`{}`,
+		`[]`,
+		`{"app":"MP3D"`,
+		`{"app":"MP3D","procs":4}{"trailing":true}`,
+		`{"app":"MP3D","procs":4,"unknown_field":1}`,
+		`{"procs":4}`,
+		`{"app":"MP3D","pair":[[0]],"lengths":[1],"procs":4}`,
+		`{"app":"NoSuchApp","procs":4}`,
+		`{"app":"MP3D","procs":-1}`,
+		`{"app":"MP3D","procs":1e9}`,
+		`{"pair":[[0,1]],"lengths":[1,1],"procs":2}`,
+		`{"pair":[[0,1],[1,0]],"lengths":[1],"procs":2}`,
+		`{"lengths":[1],"procs":2}`,
+		`{"app":"MP3D","procs":2,"engine":"warp"}`,
+		`{"app":"MP3D","procs":2,"current":{"algorithm":"X","clusters":[[99999]]}}`,
+		`{"app":"` + strings.Repeat("A", 4096) + `","procs":4}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeAdviseRequest(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if verr := req.Validate(); verr != nil {
+			t.Fatalf("decoded advise request fails its own Validate: %v", verr)
+		}
+		if len(req.App) > MaxNameLen || req.Procs < 1 || req.Procs > MaxProcs {
+			t.Fatalf("validated request exceeds bounds: app=%d procs=%d", len(req.App), req.Procs)
+		}
+		if len(req.Pair) > MaxClusterThreads {
+			t.Fatalf("validated pair matrix has %d rows", len(req.Pair))
+		}
+		for _, row := range req.Pair {
+			if len(row) != len(req.Pair) {
+				t.Fatal("validated pair matrix is not square")
+			}
+		}
+	})
+}
+
 // FuzzDecodeLeaseRequest extends the same total-robustness invariant to
 // the cluster-internal lease protocol: the grant and steal decoders face
 // a coordinator over the network, so they are held to exactly the bar of

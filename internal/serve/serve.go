@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/advise"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/placement"
@@ -513,6 +514,21 @@ func (s *Server) resolveCell(params Params, c cellSpec) (*trace.Trace, *placemen
 			Algorithm: c.explicitPlacement.Algorithm,
 			Clusters:  c.explicitPlacement.Clusters,
 		}
+	} else if spec, ok, perr := advise.ParseOnlineAlgorithm(c.algorithm); ok || perr != nil {
+		if perr != nil {
+			return nil, nil, sim.Config{}, perr
+		}
+		// Online cell: place with the spec's static seed, then rename the
+		// placement to the canonical ONLINE name so every cache, store and
+		// shard key carries the full online configuration. Copy before
+		// renaming — the suite shares placements across cells.
+		seed, err := suite.Place(c.app, spec.SeedAlgorithm(), c.procs)
+		if err != nil {
+			return nil, nil, sim.Config{}, err
+		}
+		onl := *seed
+		onl.Algorithm = spec.String()
+		pl = &onl
 	} else {
 		pl, err = suite.Place(c.app, c.algorithm, c.procs)
 		if err != nil {
@@ -660,16 +676,29 @@ func (s *Server) simulate(j *job, c cellSpec, cell int, tr *trace.Trace, pl *pla
 		probe = obs.Multi(probe, sampler)
 	}
 
+	// An ONLINE/… placement name carries the cell's online adaptive
+	// configuration; a zero OnlineOptions makes the online entry points
+	// delegate to the exact static paths, so one switch serves both.
+	var online sim.OnlineOptions
+	if spec, ok, perr := advise.ParseOnlineAlgorithm(pl.Algorithm); perr != nil {
+		return nil, nil, perr
+	} else if ok {
+		var oerr error
+		if online, oerr = spec.Options(); oerr != nil {
+			return nil, nil, oerr
+		}
+	}
+
 	s.metrics.simRuns.Inc()
 	var res *sim.Result
 	var err error
 	switch c.engine {
 	case EngineFast:
-		res, err = sim.RunGuarded(tr, pl, cfg, sim.FastEngine, probe, guard)
+		res, err = sim.RunOnlineGuarded(tr, pl, cfg, sim.FastEngine, online, probe, guard)
 	case EngineReference:
-		res, err = sim.RunGuarded(tr, pl, cfg, sim.ReferenceEngine, probe, guard)
+		res, err = sim.RunOnlineGuarded(tr, pl, cfg, sim.ReferenceEngine, online, probe, guard)
 	default: // EngineGuarded
-		res, err = s.guard.RunCell(tr, pl, cfg, probe, guard)
+		res, err = s.guard.RunOnline(tr, pl, cfg, online, probe, guard)
 	}
 	if timer != nil {
 		timer.Stop()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -159,6 +160,97 @@ type dynThread struct {
 	thread  int
 	cur     *trace.Cursor
 	pending trace.Event
+}
+
+// ---- mid-run checkpoint/restore ----
+//
+// An OnlineCheckpoint is the engine's mid-run hand-off unit: the
+// placement advisor (internal/advise, /v1/advise) consumes it, and a
+// paused online run can be resumed from it. The binary encoding is
+// deterministic — field order is fixed, matrices are row-major — so a
+// round-trip is byte-identical (asserted in the online test suite).
+
+// ckMagic frames an encoded OnlineCheckpoint ("MTC1": multithreaded
+// checkpoint, version 1).
+const ckMagic = "MTC1"
+
+// maxCheckpointThreads bounds untrusted decode allocations.
+const maxCheckpointThreads = 1 << 16
+
+// EncodeOnlineCheckpoint serializes ck deterministically.
+func EncodeOnlineCheckpoint(ck *OnlineCheckpoint) []byte {
+	n := len(ck.Assign)
+	buf := make([]byte, 0, 4+8+8+8+8*n+2*8*n*n)
+	buf = append(buf, ckMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(ck.Epoch))
+	buf = binary.BigEndian.AppendUint64(buf, ck.Cycle)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(n))
+	for _, p := range ck.Assign {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(p)))
+	}
+	for _, m := range [][][]uint64{ck.Pair, ck.EpochPair} {
+		for _, row := range m {
+			for _, v := range row {
+				buf = binary.BigEndian.AppendUint64(buf, v)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeOnlineCheckpoint parses an EncodeOnlineCheckpoint payload,
+// rejecting truncation, trailing bytes and oversized thread counts.
+func DecodeOnlineCheckpoint(b []byte) (*OnlineCheckpoint, error) {
+	if len(b) < 4 || string(b[:4]) != ckMagic {
+		return nil, fmt.Errorf("sim: checkpoint: bad magic")
+	}
+	b = b[4:]
+	take := func() (uint64, error) {
+		if len(b) < 8 {
+			return 0, fmt.Errorf("sim: checkpoint: truncated")
+		}
+		v := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		return v, nil
+	}
+	epoch, err := take()
+	if err != nil {
+		return nil, err
+	}
+	cycle, err := take()
+	if err != nil {
+		return nil, err
+	}
+	n64, err := take()
+	if err != nil {
+		return nil, err
+	}
+	if n64 > maxCheckpointThreads {
+		return nil, fmt.Errorf("sim: checkpoint: %d threads exceeds limit %d", n64, maxCheckpointThreads)
+	}
+	n := int(n64)
+	if want := 8*n + 2*8*n*n; len(b) != want {
+		return nil, fmt.Errorf("sim: checkpoint: body is %d bytes, want %d", len(b), want)
+	}
+	ck := &OnlineCheckpoint{Epoch: int(epoch), Cycle: cycle, Assign: make([]int, n)}
+	for i := range ck.Assign {
+		v, _ := take()
+		ck.Assign[i] = int(int64(v))
+	}
+	read := func() [][]uint64 {
+		m := make([][]uint64, n)
+		for i := range m {
+			m[i] = make([]uint64, n)
+			for j := range m[i] {
+				v, _ := take()
+				m[i][j] = v
+			}
+		}
+		return m
+	}
+	ck.Pair = read()
+	ck.EpochPair = read()
+	return ck, nil
 }
 
 // pullDynamic hands the processor the next queued thread, if any,

@@ -36,6 +36,12 @@ type context struct {
 	pending trace.Event
 	state   ctxState
 	readyAt uint64 // completion time while blocked
+	// moved marks a context migrated by online placement that has not
+	// executed since; it may not migrate again until it runs, so an
+	// adversarial policy cannot defer a thread forever by re-migrating it
+	// at every boundary (each migration is separated by real execution,
+	// and a finite trace then bounds total migrations).
+	moved bool
 }
 
 // proc is one simulated processor.
@@ -48,7 +54,11 @@ type proc struct {
 	seq      uint64
 	done     int
 	nextLoad int // next unloaded context to admit when one frees
-	stats    ProcStats
+	// wake is the pending wake time while idle-waiting (running == -1
+	// with blocked contexts); online boundaries use it to un-charge idle
+	// time when a migration re-activates the processor early.
+	wake  uint64
+	stats ProcStats
 }
 
 // event is a scheduled processor action: issue the running context's
@@ -108,6 +118,10 @@ type machine struct {
 	// guard, when non-nil, is the run's watchdog (step budget and
 	// cancellation, see RunGuarded). Nil for unguarded runs.
 	guard *guardState
+	// online, when non-nil, is the mid-run adaptive-placement state (see
+	// RunOnlineGuarded). Nil for static runs: the hot loop pays one nil
+	// check and nothing else.
+	online *onlineState
 }
 
 // Engine selects one of the two simulation engine implementations. Both
@@ -284,6 +298,12 @@ func (m *machine) run(tr *trace.Trace, pl *placement.Placement, checkEvery int) 
 	}
 	steps := 0
 	for m.h.Len() > 0 {
+		if m.online != nil && m.h[0].time >= m.online.next {
+			// A detection boundary falls before the next event: process it
+			// without consuming the event.
+			m.onlineBoundary()
+			continue
+		}
 		ev := heap.Pop(&m.h).(event)
 		if m.guard != nil && m.guard.tripped() {
 			meta := obs.RunMeta{App: tr.App, Algorithm: pl.Algorithm, Engine: ReferenceEngine.String()}
@@ -331,6 +351,9 @@ func (m *machine) run(tr *trace.Trace, pl *placement.Placement, checkEvery int) 
 	if m.wr != nil {
 		res.WriteRuns = m.wr.stats()
 	}
+	if m.online != nil {
+		res.Online = m.online.finish()
+	}
 	if m.probe != nil {
 		m.probe.RunEnd(res.ExecTime)
 	}
@@ -362,6 +385,7 @@ func (m *machine) scheduleNext(p *proc, t uint64) {
 		p.running = chosen
 		c := p.ctxs[chosen]
 		c.state = ctxRunning
+		c.moved = false
 		if m.probe != nil {
 			m.probe.ThreadRun(t, p.id, c.thread)
 		}
@@ -388,6 +412,7 @@ func (m *machine) scheduleNext(p *proc, t uint64) {
 	} else {
 		wake = t
 	}
+	p.wake = wake
 	m.push(wake, p)
 }
 
@@ -402,6 +427,9 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 	block := p.cache.block(e.Addr)
 	if m.wr != nil && e.Kind == trace.Write && trace.IsShared(e.Addr) {
 		m.wr.observe(block, int32(c.thread))
+	}
+	if m.online != nil && trace.IsShared(e.Addr) {
+		m.online.touch(block, p.id, c.thread)
 	}
 	st := p.cache.lookup(block)
 
@@ -420,7 +448,7 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 			// Write-update: propagate the value to remote copies from
 			// the write buffer; the writer does not stall and every
 			// copy stays valid.
-			m.updateOthers(p, en, t)
+			m.updateOthers(p, en, block, t)
 			m.completeHit(p, c, t)
 			return
 		}
@@ -451,6 +479,9 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 		m.probe.CacheMiss(t, p.id, c.thread, obs.MissClass(kind))
 	}
 	if kind == InvalidationMiss {
+		if m.online != nil {
+			m.online.invalidationMiss(block, p.id, int32(c.thread))
+		}
 		if by, ok := p.cache.invalidator(block); ok {
 			m.pair[by][p.id]++
 			if m.probe != nil {
@@ -467,6 +498,9 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 			owner.cache.setState(block, shared)
 			owner.stats.Writebacks++
 			m.pair[p.id][owner.id]++
+			if m.online != nil {
+				m.online.fetched(block, int32(c.thread), owner.id)
+			}
 			if m.probe != nil {
 				m.probe.PairTraffic(t, p.id, owner.id)
 			}
@@ -477,7 +511,7 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 	} else if m.cfg.Protocol == Update {
 		// Write miss under write-update: fetch the line, keep remote
 		// copies valid and push them the new value.
-		m.updateOthers(p, en, t)
+		m.updateOthers(p, en, block, t)
 		en.add(p.id)
 		m.fill(p, c, block, shared)
 	} else {
@@ -488,6 +522,9 @@ func (m *machine) access(p *proc, c *context, t uint64) {
 				owner.stats.InvalidationsReceived++
 				p.stats.InvalidationsSent++
 				m.pair[p.id][owner.id]++
+				if m.online != nil {
+					m.online.invalidated(block, int32(c.thread), owner.id)
+				}
 				if m.probe != nil {
 					m.probe.Invalidation(t, p.id, owner.id)
 					m.probe.PairTraffic(t, p.id, owner.id)
@@ -513,6 +550,9 @@ func (m *machine) invalidateOthers(p *proc, en *dirEntry, block uint64, t uint64
 			victim.stats.InvalidationsReceived++
 			p.stats.InvalidationsSent++
 			m.pair[p.id][q]++
+			if m.online != nil {
+				m.online.invalidated(block, int32(p.ctxs[p.running].thread), q)
+			}
 			if m.probe != nil {
 				m.probe.Invalidation(t, p.id, q)
 				m.probe.PairTraffic(t, p.id, q)
@@ -526,12 +566,15 @@ func (m *machine) invalidateOthers(p *proc, en *dirEntry, block uint64, t uint64
 // updateOthers pushes a written value to every remote sharer of the entry
 // (write-update protocol). The messages occupy interconnect channels but
 // do not stall the writer.
-func (m *machine) updateOthers(p *proc, en *dirEntry, t uint64) {
+func (m *machine) updateOthers(p *proc, en *dirEntry, block uint64, t uint64) {
 	en.others(p.id, func(q int) {
 		m.acquireChannel(t)
 		m.procs[q].stats.UpdatesReceived++
 		p.stats.UpdatesSent++
 		m.pair[p.id][q]++
+		if m.online != nil {
+			m.online.fetched(block, int32(p.ctxs[p.running].thread), q)
+		}
 		if m.probe != nil {
 			m.probe.Update(t, p.id, q)
 			m.probe.PairTraffic(t, p.id, q)

@@ -35,7 +35,11 @@ type fastProc struct {
 	seq      uint64
 	done     int
 	nextLoad int
-	stats    ProcStats
+	// wake is the pending wake time while idle-waiting (running == -1
+	// with blocked contexts); online boundaries use it to un-charge idle
+	// time when a migration re-activates the processor early.
+	wake  uint64
+	stats ProcStats
 }
 
 // fastMachine is the whole simulated system (fast engine). It does not
@@ -61,6 +65,10 @@ type fastMachine struct {
 	// guard, when non-nil, is the run's watchdog (step budget and
 	// cancellation, see RunGuarded). Nil for unguarded runs.
 	guard *guardState
+	// online, when non-nil, is the mid-run adaptive-placement state (see
+	// RunOnlineGuarded). Nil for static runs: the hot loop pays one nil
+	// check and nothing else.
+	online *onlineState
 }
 
 func newFastMachine(tr *trace.Trace, pl *placement.Placement, cfg Config) (*fastMachine, error) {
@@ -164,6 +172,12 @@ func (m *fastMachine) run(tr *trace.Trace, pl *placement.Placement) (*Result, er
 		}
 	}
 	for m.h.len() > 0 {
+		if m.online != nil && m.h.a[0].time >= m.online.next {
+			// A detection boundary falls before the next event: process it
+			// without consuming the event.
+			m.onlineBoundary()
+			continue
+		}
 		ev := m.h.pop()
 		if m.guard != nil && m.guard.tripped() {
 			meta := obs.RunMeta{App: tr.App, Algorithm: pl.Algorithm, Engine: FastEngine.String()}
@@ -200,6 +214,9 @@ func (m *fastMachine) run(tr *trace.Trace, pl *placement.Placement) (*Result, er
 	}
 	if m.wr != nil {
 		res.WriteRuns = m.wr.stats()
+	}
+	if m.online != nil {
+		res.Online = m.online.finish()
 	}
 	if f := fastFault.Load(); f != nil {
 		// Test-only corruption hook (SetFastEngineFault): deliberately
@@ -245,6 +262,7 @@ func (m *fastMachine) scheduleNext(p *fastProc, t uint64) {
 		p.running = chosen
 		c := &p.ctxs[chosen]
 		c.state = ctxRunning
+		c.moved = false
 		if m.probe != nil {
 			m.probe.ThreadRun(t, p.id, c.thread)
 		}
@@ -272,6 +290,7 @@ func (m *fastMachine) scheduleNext(p *fastProc, t uint64) {
 	} else {
 		wake = t
 	}
+	p.wake = wake
 	m.push(wake, p)
 }
 
@@ -289,6 +308,9 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 	if m.wr != nil && e.Kind == trace.Write && trace.IsShared(e.Addr) {
 		m.wr.observe(block, int32(c.thread))
 	}
+	if m.online != nil && trace.IsShared(e.Addr) {
+		m.online.touch(block, p.id, c.thread)
+	}
 	st := p.cache.lookup(block)
 
 	switch {
@@ -303,7 +325,7 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 	case e.Kind == trace.Write && st == shared:
 		ei := m.dir.entry(block)
 		if m.cfg.Protocol == Update {
-			m.updateOthers(p, ei, t)
+			m.updateOthers(p, ei, block, t)
 			m.completeHit(p, c, t)
 			return
 		}
@@ -333,6 +355,9 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 		m.probe.CacheMiss(t, p.id, c.thread, obs.MissClass(kind))
 	}
 	if kind == InvalidationMiss {
+		if m.online != nil {
+			m.online.invalidationMiss(block, p.id, int32(c.thread))
+		}
 		if by, ok := p.cache.invalidator(block); ok {
 			m.pair[by][p.id]++
 			if m.probe != nil {
@@ -349,6 +374,9 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 			owner.cache.setState(block, shared)
 			owner.stats.Writebacks++
 			m.pair[p.id][owner.id]++
+			if m.online != nil {
+				m.online.fetched(block, int32(c.thread), owner.id)
+			}
 			if m.probe != nil {
 				m.probe.PairTraffic(t, p.id, owner.id)
 			}
@@ -359,7 +387,7 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 	} else if m.cfg.Protocol == Update {
 		// Write miss under write-update: fetch the line, keep remote
 		// copies valid and push them the new value.
-		m.updateOthers(p, ei, t)
+		m.updateOthers(p, ei, block, t)
 		m.dir.add(ei, p.id)
 		m.fill(p, c, block, shared)
 	} else {
@@ -370,6 +398,9 @@ func (m *fastMachine) access(p *fastProc, c *context, t uint64) {
 				owner.stats.InvalidationsReceived++
 				p.stats.InvalidationsSent++
 				m.pair[p.id][owner.id]++
+				if m.online != nil {
+					m.online.invalidated(block, int32(c.thread), owner.id)
+				}
 				if m.probe != nil {
 					m.probe.Invalidation(t, p.id, owner.id)
 					m.probe.PairTraffic(t, p.id, owner.id)
@@ -400,6 +431,9 @@ func (m *fastMachine) invalidateOthers(p *fastProc, ei int32, block uint64, t ui
 			victim.stats.InvalidationsReceived++
 			p.stats.InvalidationsSent++
 			m.pair[p.id][q]++
+			if m.online != nil {
+				m.online.invalidated(block, int32(p.ctxs[p.running].thread), int(q))
+			}
 			if m.probe != nil {
 				m.probe.Invalidation(t, p.id, int(q))
 				m.probe.PairTraffic(t, p.id, int(q))
@@ -414,13 +448,16 @@ func (m *fastMachine) invalidateOthers(p *fastProc, ei int32, block uint64, t ui
 // (write-update protocol).
 //
 //mtlint:hotpath
-func (m *fastMachine) updateOthers(p *fastProc, ei int32, t uint64) {
+func (m *fastMachine) updateOthers(p *fastProc, ei int32, block uint64, t uint64) {
 	m.scratch = m.dir.appendOthers(ei, p.id, m.scratch[:0])
 	for _, q := range m.scratch {
 		m.acquireChannel(t)
 		m.procs[q].stats.UpdatesReceived++
 		p.stats.UpdatesSent++
 		m.pair[p.id][q]++
+		if m.online != nil {
+			m.online.fetched(block, int32(p.ctxs[p.running].thread), int(q))
+		}
 		if m.probe != nil {
 			m.probe.Update(t, p.id, int(q))
 			m.probe.PairTraffic(t, p.id, int(q))

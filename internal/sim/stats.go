@@ -109,6 +109,11 @@ type Result struct {
 	// WriteRuns holds the §4.2 write-run statistics when
 	// Config.TrackWriteRuns was set, else nil.
 	WriteRuns *WriteRunStats
+	// Online holds the migration log of an online adaptive run (see
+	// RunOnlineGuarded), nil for static runs. The omitempty tag keeps
+	// every static Result's JSON encoding byte-identical to before online
+	// mode existed — result caches and stored sweeps are unaffected.
+	Online *OnlineStats `json:"Online,omitempty"`
 }
 
 // Totals aggregates the per-processor stats.
